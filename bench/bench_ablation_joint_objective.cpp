@@ -1,0 +1,98 @@
+// Ablation: the joint period-optimization objective (DESIGN.md §5).
+//
+// The paper's appendix claims the joint maximization of Σ ω·Tdes/T is a
+// convex program; it is actually signomial.  This bench quantifies how much
+// the three implemented objectives differ on random fixed assignments:
+//   SumSurrogate (rigorous GP), LogUtility (rigorous GP), SignomialScp
+//   (the literal objective via sequential convex programming).
+//
+// Usage: bench_ablation_joint_objective [--tasksets 60] [--seed 5] [--csv]
+#include <iostream>
+#include <vector>
+
+#include "core/joint_period.h"
+#include "gen/synthetic.h"
+#include "io/table.h"
+#include "rt/partition.h"
+#include "stats/summary.h"
+#include "util/cli.h"
+
+namespace core = hydra::core;
+namespace gen = hydra::gen;
+namespace io = hydra::io;
+
+int main(int argc, char** argv) {
+  const hydra::util::CliParser cli(argc, argv);
+  const int tasksets = static_cast<int>(cli.get_int("tasksets", 60));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  const bool csv = cli.get_bool("csv", false);
+
+  io::print_banner(std::cout, "Ablation: joint period objective on fixed assignments (M = 2)");
+
+  gen::SyntheticConfig config;
+  config.num_cores = 2;
+  config.min_sec_per_core = 1;
+  config.max_sec_per_core = 3;
+
+  const std::vector<std::pair<std::string, core::JointObjective>> modes{
+      {"SumSurrogate", core::JointObjective::kSumSurrogate},
+      {"LogUtility", core::JointObjective::kLogUtility},
+      {"SignomialScp", core::JointObjective::kSignomialScp},
+  };
+
+  // Collect per-instance cumulative tightness under each mode on a random
+  // (uniform) assignment of security tasks to cores.
+  std::vector<std::vector<double>> values(modes.size());
+  hydra::util::Xoshiro256 rng(seed);
+  int solved = 0;
+  int attempts = 0;
+  while (solved < tasksets && attempts < tasksets * 10) {
+    ++attempts;
+    auto trial_rng = rng.fork();
+    const auto drawn = gen::generate_filtered_instance(config, trial_rng.uniform(0.8, 1.6),
+                                                       trial_rng);
+    if (!drawn.has_value()) continue;
+    const auto partition = hydra::rt::partition_rt_tasks(drawn->instance.rt_tasks, 2);
+    if (!partition.has_value()) continue;
+    std::vector<std::size_t> core_of(drawn->instance.security_tasks.size());
+    for (auto& c : core_of) c = static_cast<std::size_t>(trial_rng.uniform_int(0, 1));
+
+    std::vector<double> row;
+    bool all_feasible = true;
+    for (const auto& [name, mode] : modes) {
+      core::JointPeriodOptions opts;
+      opts.objective = mode;
+      const auto r = core::optimize_joint_periods(drawn->instance, *partition, core_of, opts);
+      if (!r.feasible) {
+        all_feasible = false;
+        break;
+      }
+      row.push_back(r.cumulative_tightness);
+    }
+    if (!all_feasible) continue;  // feasibility is objective-independent; skip fully
+    for (std::size_t i = 0; i < modes.size(); ++i) values[i].push_back(row[i]);
+    ++solved;
+  }
+
+  io::Table table({"objective", "mean cumulative tightness", "vs SignomialScp (%)"});
+  if (solved == 0) {
+    std::cout << "no feasible instances drawn\n";
+    return 0;
+  }
+  const double scp_mean = hydra::stats::summarize(values.back()).mean;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const double mean = hydra::stats::summarize(values[i]).mean;
+    table.add_row({modes[i].first, io::fmt(mean, 4),
+                   io::fmt((mean - scp_mean) / scp_mean * 100.0, 2)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n(" << solved << " instances) Reading: SignomialScp optimizes the paper's "
+               "literal objective and should lead; the rigorous GP surrogates "
+               "trail it only slightly, justifying their use when a"
+               " deterministic convex solve is preferred.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "core/design_space.h"
+
+#include <cmath>
+
+#include "core/validation.h"
+#include "sec/tightness.h"
+
+namespace hydra::core {
+
+namespace {
+
+DesignPoint evaluate(std::string scheme, const Instance& instance, Allocation allocation,
+                     util::Millis blocking,
+                     const std::optional<std::vector<std::size_t>>& priority_order,
+                     ScheduleTest test) {
+  DesignPoint point;
+  point.scheme = std::move(scheme);
+  point.allocation = std::move(allocation);
+  if (point.allocation.feasible) {
+    point.cumulative_tightness =
+        point.allocation.cumulative_tightness(instance.security_tasks);
+    const double upper = sec::max_cumulative_tightness(instance.security_tasks);
+    point.normalized_tightness = upper > 0.0 ? point.cumulative_tightness / upper : 0.0;
+    const auto report =
+        validate_allocation(instance, point.allocation, blocking, priority_order, test);
+    point.validated = report.valid;
+    point.validation_problem = report.problem;
+  }
+  return point;
+}
+
+}  // namespace
+
+std::optional<std::size_t> ExplorationReport::best_index() const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].allocation.feasible || !points[i].validated) continue;
+    if (!best.has_value() ||
+        points[i].cumulative_tightness > points[*best].cumulative_tightness) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool ExplorationReport::any_feasible() const {
+  for (const auto& p : points) {
+    if (p.allocation.feasible && p.validated) return true;
+  }
+  return false;
+}
+
+ExplorationReport explore_design_space(const Instance& instance,
+                                       const ExplorationOptions& options) {
+  instance.validate();
+  ExplorationReport report;
+
+  // 1. HYDRA in the caller's configuration (paper defaults unless changed).
+  {
+    const HydraAllocator allocator(options.hydra);
+    const ScheduleTest test = options.hydra.solver == PeriodSolver::kExactRta
+                                  ? ScheduleTest::kExactRta
+                                  : ScheduleTest::kLinearBound;
+    report.points.push_back(evaluate("HYDRA", instance, allocator.allocate(instance),
+                                     options.hydra.blocking, options.hydra.priority_order,
+                                     test));
+  }
+
+  // 2. HYDRA with exact RTA (skipped when the caller already asked for it).
+  if (options.hydra.solver != PeriodSolver::kExactRta) {
+    HydraOptions exact = options.hydra;
+    exact.solver = PeriodSolver::kExactRta;
+    const HydraAllocator allocator(exact);
+    report.points.push_back(evaluate("HYDRA(exact-RTA)", instance,
+                                     allocator.allocate(instance), exact.blocking,
+                                     exact.priority_order, ScheduleTest::kExactRta));
+  }
+
+  // 3. SingleCore (needs a spare core).
+  if (instance.num_cores >= 2) {
+    const SingleCoreAllocator allocator(options.single_core);
+    report.points.push_back(evaluate("SingleCore", instance, allocator.allocate(instance),
+                                     options.single_core.blocking, std::nullopt,
+                                     ScheduleTest::kLinearBound));
+  }
+
+  // 4. Optimal, when the enumeration fits the budget.
+  if (options.optimal_budget > 0 && !instance.security_tasks.empty()) {
+    const double combos = std::pow(static_cast<double>(instance.num_cores),
+                                   static_cast<double>(instance.security_tasks.size()));
+    if (combos <= static_cast<double>(options.optimal_budget)) {
+      OptimalOptions opt = options.optimal;
+      opt.max_assignments = options.optimal_budget;
+      const OptimalAllocator allocator(opt);
+      report.points.push_back(evaluate("Optimal", instance, allocator.allocate(instance),
+                                       opt.joint.blocking, std::nullopt,
+                                       ScheduleTest::kLinearBound));
+    }
+  }
+  return report;
+}
+
+}  // namespace hydra::core

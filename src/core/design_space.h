@@ -1,0 +1,57 @@
+// Design-space exploration driver — the workflow the paper's title and
+// conclusion describe: "Since we provide comparisons of our solution with two
+// extremes — an 'optimal' assignment strategy and isolating all security
+// tasks to a single core — we are able to provide valuable hints to designers
+// on how to build security into such systems."
+//
+// Given one instance, evaluates every applicable allocation scheme, collects
+// feasibility / tightness / per-task placements, and emits machine-checkable
+// results plus a human-readable comparison (io::Table-ready rows).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hydra.h"
+#include "core/instance.h"
+#include "core/optimal.h"
+#include "core/single_core.h"
+
+namespace hydra::core {
+
+/// One evaluated design point.
+struct DesignPoint {
+  std::string scheme;            ///< e.g. "HYDRA", "SingleCore", "Optimal"
+  Allocation allocation;         ///< the scheme's result
+  double cumulative_tightness = 0.0;  ///< Σ ω·η (0 when infeasible)
+  double normalized_tightness = 0.0;  ///< divided by Σ ω (1.0 = every monitor at Tdes)
+  bool validated = false;        ///< passed the independent checker
+  std::string validation_problem;
+};
+
+struct ExplorationOptions {
+  HydraOptions hydra;
+  SingleCoreOptions single_core;
+  /// The exhaustive comparator is exponential in NS; it is skipped unless
+  /// M^NS stays within this budget (0 disables it entirely).
+  std::size_t optimal_budget = 4096;
+  OptimalOptions optimal;
+};
+
+struct ExplorationReport {
+  std::vector<DesignPoint> points;
+
+  /// The feasible point with the highest cumulative tightness, if any.
+  std::optional<std::size_t> best_index() const;
+
+  /// True iff at least one scheme produced a feasible, validated allocation.
+  bool any_feasible() const;
+};
+
+/// Evaluates HYDRA (paper configuration), HYDRA with exact RTA, SingleCore,
+/// and — when affordable — the exhaustive Optimal on `instance`.
+ExplorationReport explore_design_space(const Instance& instance,
+                                       const ExplorationOptions& options = {});
+
+}  // namespace hydra::core

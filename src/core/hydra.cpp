@@ -1,0 +1,133 @@
+#include "core/hydra.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rt/analysis.h"
+#include "rt/interference.h"
+#include "rt/priority.h"
+#include "util/contracts.h"
+
+namespace hydra::core {
+
+namespace {
+
+/// Mutable per-core bookkeeping while the greedy pass runs.
+struct CoreState {
+  std::vector<rt::RtTask> rt_tasks;                   ///< RT tasks partitioned here
+  std::vector<rt::PlacedSecurityTask> placed;         ///< security tasks already assigned
+  double utilization = 0.0;                           ///< RT + assigned security demand
+  util::Millis max_security_wcet = 0.0;               ///< longest hosted scan
+
+  rt::InterferenceBound bound(util::Millis blocking) const {
+    return rt::interference_bound(rt_tasks, placed, blocking);
+  }
+
+  /// Non-preemptive admission: the RT tasks must tolerate being blocked by
+  /// the longest scan that would live here if `candidate_wcet` joins.
+  bool rt_tolerates_blocking(util::Millis candidate_wcet) const {
+    const util::Millis worst = std::max(max_security_wcet, candidate_wcet);
+    return rt::core_schedulable_rm_with_blocking(rt_tasks, worst);
+  }
+};
+
+}  // namespace
+
+Allocation HydraAllocator::allocate(const Instance& instance,
+                                    const rt::Partition& rt_partition) const {
+  instance.validate();
+  HYDRA_REQUIRE(rt_partition.num_cores == instance.num_cores,
+                "RT partition core count must match the instance");
+  HYDRA_REQUIRE(rt_partition.core_of.size() == instance.rt_tasks.size(),
+                "RT partition does not cover the RT task set");
+
+  std::vector<CoreState> cores(instance.num_cores);
+  for (std::size_t c = 0; c < instance.num_cores; ++c) {
+    cores[c].rt_tasks = rt_partition.tasks_on_core(instance.rt_tasks, c);
+    for (const auto& t : cores[c].rt_tasks) cores[c].utilization += t.utilization();
+  }
+
+  Allocation result;
+  result.rt_partition = rt_partition;
+  result.placements.assign(instance.security_tasks.size(), TaskPlacement{});
+
+  // Lines 2–14: highest to lowest security priority (ascending Tmax, unless
+  // the caller supplied a chain-consistent override).
+  const auto order =
+      rt::resolve_security_order(instance.security_tasks, options_.priority_order);
+  for (const std::size_t s : order) {
+    const rt::SecurityTask& task = instance.security_tasks[s];
+
+    // Lines 3–5: solve Eq. (7) on every core.
+    std::optional<std::size_t> best_core;
+    PeriodAdaptation best{};
+    for (std::size_t c = 0; c < instance.num_cores; ++c) {
+      if (options_.non_preemptive_security && !cores[c].rt_tolerates_blocking(task.wcet)) {
+        continue;  // a scan this long would blow the RT deadlines here
+      }
+      const PeriodAdaptation candidate =
+          options_.solver == PeriodSolver::kExactRta
+              ? adapt_period_exact(task, cores[c].rt_tasks, cores[c].placed, options_.blocking)
+              : adapt_period(task, cores[c].bound(options_.blocking), options_.solver);
+      if (!candidate.feasible) continue;
+
+      bool take = false;
+      if (!best_core.has_value()) {
+        take = true;
+      } else {
+        switch (options_.core_pick) {
+          case CorePick::kMaxTightness:
+            if (candidate.tightness > best.tightness + 1e-12) {
+              take = true;
+            } else if (candidate.tightness > best.tightness - 1e-12 &&
+                       options_.tie_break == TieBreak::kLeastLoaded &&
+                       cores[c].utilization < cores[*best_core].utilization) {
+              take = true;
+            }
+            break;
+          case CorePick::kFirstFeasible:
+            break;  // first feasible core already held in `best`
+          case CorePick::kLeastLoaded:
+            if (cores[c].utilization < cores[*best_core].utilization) take = true;
+            break;
+          case CorePick::kWorstTightness:
+            if (candidate.tightness < best.tightness - 1e-12) take = true;
+            break;
+        }
+      }
+      if (take) {
+        best_core = c;
+        best = candidate;
+      }
+    }
+
+    // Lines 7–10: no feasible core anywhere ⇒ unschedulable.
+    if (!best_core.has_value()) {
+      return infeasible_allocation(
+          s, "no core admits an acceptable period for security task '" + task.name + "'");
+    }
+
+    // Lines 12–13: commit assignment and period.
+    result.placements[s] = TaskPlacement{*best_core, best.period, best.tightness};
+    cores[*best_core].placed.push_back(rt::PlacedSecurityTask{task.wcet, best.period});
+    cores[*best_core].utilization += task.wcet / best.period;
+    cores[*best_core].max_security_wcet = std::max(cores[*best_core].max_security_wcet,
+                                                   task.wcet);
+  }
+
+  result.feasible = true;
+  return result;
+}
+
+Allocation HydraAllocator::allocate(const Instance& instance) const {
+  instance.validate();
+  const auto partition = rt::partition_rt_tasks(instance.rt_tasks, instance.num_cores);
+  if (!partition.has_value()) {
+    Allocation a = infeasible_allocation(std::numeric_limits<std::size_t>::max(),
+                                         "RT tasks cannot be partitioned on M cores");
+    return a;
+  }
+  return allocate(instance, *partition);
+}
+
+}  // namespace hydra::core

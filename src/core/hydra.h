@@ -1,0 +1,79 @@
+// HYDRA (paper Algorithm 1): greedy joint task-allocation and period
+// adaptation.
+//
+// Security tasks are visited from highest to lowest priority (ascending
+// Tmax).  For each task the Eq. (7) subproblem is solved on every core; the
+// task goes to the core giving the maximum achievable tightness, its period
+// is fixed, and it becomes an interferer for the tasks that follow.  If no
+// core is feasible the whole set is declared unschedulable — exactly the
+// paper's early-return on line 9.
+//
+// Knobs beyond the paper (defaults reproduce the paper's behaviour):
+//   * `solver`      — closed-form vs GP subproblem (identical results).
+//   * `core_pick`   — ablation of line 11's argmax-tightness rule.
+//   * `tie_break`   — the paper leaves η ties unspecified; the default
+//                     spreads load (least busy core), the ablation picks the
+//                     lowest index.
+//   * `blocking`    — per-core blocking term for non-preemptive security
+//                     tasks (paper §V future work).
+#pragma once
+
+#include "core/instance.h"
+#include "core/period_adaptation.h"
+#include "rt/partition.h"
+
+namespace hydra::core {
+
+/// How to choose among cores once Eq. (7) has been solved on each.
+enum class CorePick {
+  kMaxTightness,   ///< paper's line 11: argmax ηs
+  kFirstFeasible,  ///< first-fit: lowest-index feasible core
+  kLeastLoaded,    ///< feasible core with the least total utilization
+  kWorstTightness, ///< adversarial baseline: argmin ηs (for ablation)
+};
+
+/// Resolves equal-tightness candidates for kMaxTightness.
+enum class TieBreak {
+  kLeastLoaded,  ///< spread security load (default; helps detection latency)
+  kLowestIndex,  ///< deterministic first-core rule
+};
+
+struct HydraOptions {
+  PeriodSolver solver = PeriodSolver::kClosedForm;
+  CorePick core_pick = CorePick::kMaxTightness;
+  TieBreak tie_break = TieBreak::kLeastLoaded;
+  util::Millis blocking = 0.0;  ///< non-preemptive blocking per core (0 = paper)
+  /// Model non-preemptive security execution FULLY: in addition to the
+  /// `blocking` term on the security side, a candidate core is admissible
+  /// only if its RT tasks stay schedulable when a lower-priority scan may
+  /// block them for up to the longest security WCET hosted there.  Without
+  /// this the §V extension silently breaks the "do not perturb the RT tasks"
+  /// premise (the ablation bench demonstrates the resulting deadline misses).
+  bool non_preemptive_security = false;
+  /// Security priority order override (highest first), e.g. a
+  /// sec::chain_consistent_order honouring §V precedence chains.  Absent =
+  /// the paper's ascending-Tmax rule.  Pass the same order to
+  /// validate_allocation and build_sim_tasks.
+  std::optional<std::vector<std::size_t>> priority_order;
+};
+
+class HydraAllocator {
+ public:
+  explicit HydraAllocator(HydraOptions options = {}) : options_(options) {}
+
+  /// Runs Algorithm 1 against an externally supplied RT partition over all M
+  /// cores (the paper's input `I`).
+  Allocation allocate(const Instance& instance, const rt::Partition& rt_partition) const;
+
+  /// Convenience overload matching the paper's evaluation setup: partitions
+  /// the RT tasks over all M cores with best-fit first, then runs HYDRA.
+  /// Infeasible if the RT tasks alone cannot be partitioned.
+  Allocation allocate(const Instance& instance) const;
+
+  const HydraOptions& options() const { return options_; }
+
+ private:
+  HydraOptions options_;
+};
+
+}  // namespace hydra::core

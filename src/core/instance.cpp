@@ -1,0 +1,49 @@
+#include "core/instance.h"
+
+#include "rt/priority.h"
+#include "sec/tightness.h"
+#include "util/contracts.h"
+
+namespace hydra::core {
+
+void Instance::validate() const {
+  HYDRA_REQUIRE(num_cores >= 1, "instance needs at least one core");
+  rt::validate(rt_tasks);
+  rt::validate(security_tasks);
+}
+
+double Allocation::cumulative_tightness(const std::vector<rt::SecurityTask>& tasks) const {
+  if (!feasible) return 0.0;
+  HYDRA_REQUIRE(placements.size() == tasks.size(), "placement/task size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    acc += tasks[i].weight * sec::tightness(tasks[i], placements[i].period);
+  }
+  return acc;
+}
+
+std::vector<std::size_t> Allocation::security_on_core(std::size_t core) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    if (placements[i].core == core) out.push_back(i);
+  }
+  return out;
+}
+
+Allocation infeasible_allocation(std::size_t task_index, std::string reason) {
+  Allocation a;
+  a.feasible = false;
+  a.failed_task = task_index;
+  a.failure_reason = std::move(reason);
+  return a;
+}
+
+Instance with_priority_weights(Instance instance) {
+  const auto weights = rt::priority_weights(instance.security_tasks);
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    instance.security_tasks[s].weight = weights[s];
+  }
+  return instance;
+}
+
+}  // namespace hydra::core

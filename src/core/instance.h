@@ -1,0 +1,68 @@
+// Problem instance and allocation result types shared by every allocation
+// scheme (HYDRA, SingleCore, Optimal).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rt/partition.h"
+#include "rt/task.h"
+#include "util/units.h"
+
+namespace hydra::core {
+
+/// The input of the design-space exploration: an M-core platform, the legacy
+/// RT task set ΓR (whose parameters must not change) and the security task
+/// set ΓS to integrate.
+struct Instance {
+  std::size_t num_cores = 0;                    ///< M
+  std::vector<rt::RtTask> rt_tasks;             ///< ΓR
+  std::vector<rt::SecurityTask> security_tasks; ///< ΓS
+
+  /// Throws std::invalid_argument on malformed instances.
+  void validate() const;
+};
+
+/// Where one security task ended up.
+struct TaskPlacement {
+  std::size_t core = 0;          ///< assigned core (0-based)
+  util::Millis period = 0.0;     ///< assigned period Ts ∈ [Tdes, Tmax]
+  double tightness = 0.0;        ///< ηs = Tdes/Ts
+};
+
+/// Outcome of an allocation scheme.  `feasible == false` mirrors the paper's
+/// "Unschedulable" return: `failed_task` is the first security task for which
+/// no core admitted any acceptable period.
+struct Allocation {
+  bool feasible = false;
+  std::size_t failed_task = std::numeric_limits<std::size_t>::max();
+  std::string failure_reason;
+
+  /// Parallel to Instance::security_tasks; meaningful when feasible.
+  std::vector<TaskPlacement> placements;
+
+  /// The RT partition the scheme ran against (HYDRA: all M cores;
+  /// SingleCore: RT on M−1 cores, core M−1 left for security).
+  rt::Partition rt_partition;
+
+  /// Σs ωs·ηs (Eq. 3) of this allocation; 0 when infeasible.
+  double cumulative_tightness(const std::vector<rt::SecurityTask>& tasks) const;
+
+  /// Convenience: indices of security tasks placed on `core`.
+  std::vector<std::size_t> security_on_core(std::size_t core) const;
+};
+
+/// Creates an infeasible result blaming `task_index`.
+Allocation infeasible_allocation(std::size_t task_index, std::string reason);
+
+/// Returns a copy of `instance` with the paper's weight rule applied
+/// ("higher priority tasks would have large ωs", Eq. 3): the highest-priority
+/// security task (smallest Tmax) gets ω = NS, the next NS−1, and so on.  The
+/// default instances keep ω = 1 so the cumulative tightness is the plain sum
+/// the figures report.
+Instance with_priority_weights(Instance instance);
+
+}  // namespace hydra::core

@@ -1,0 +1,69 @@
+#include "core/optimal.h"
+
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace hydra::core {
+
+Allocation OptimalAllocator::allocate(const Instance& instance,
+                                      const rt::Partition& rt_partition) const {
+  instance.validate();
+  HYDRA_REQUIRE(rt_partition.num_cores == instance.num_cores,
+                "RT partition core count must match the instance");
+
+  const std::size_t ns = instance.security_tasks.size();
+  const std::size_t m = instance.num_cores;
+
+  // Guard the M^NS blow-up before enumerating.
+  double combos = 1.0;
+  for (std::size_t s = 0; s < ns; ++s) combos *= static_cast<double>(m);
+  HYDRA_REQUIRE(combos <= static_cast<double>(options_.max_assignments),
+                "M^NS exceeds OptimalOptions::max_assignments");
+
+  Allocation best;
+  best.rt_partition = rt_partition;
+  best.failed_task = ns == 0 ? 0 : std::numeric_limits<std::size_t>::max();
+  best.failure_reason = "no assignment admits acceptable periods for every task";
+  double best_value = -1.0;
+
+  std::vector<std::size_t> core_of(ns, 0);
+  const std::size_t total = static_cast<std::size_t>(combos);
+  for (std::size_t code = 0; code < total; ++code) {
+    // Decode `code` as a base-M numeral into the assignment vector.
+    std::size_t rem = code;
+    for (std::size_t s = 0; s < ns; ++s) {
+      core_of[s] = rem % m;
+      rem /= m;
+    }
+
+    const JointPeriodResult joint =
+        optimize_joint_periods(instance, rt_partition, core_of, options_.joint);
+    if (!joint.feasible) continue;
+    if (joint.cumulative_tightness > best_value) {
+      best_value = joint.cumulative_tightness;
+      best.feasible = true;
+      best.failure_reason.clear();
+      best.placements.assign(ns, TaskPlacement{});
+      for (std::size_t s = 0; s < ns; ++s) {
+        best.placements[s] = TaskPlacement{
+            core_of[s], joint.periods[s],
+            instance.security_tasks[s].period_des / joint.periods[s]};
+      }
+    }
+  }
+  if (ns == 0) best.feasible = true;
+  return best;
+}
+
+Allocation OptimalAllocator::allocate(const Instance& instance) const {
+  instance.validate();
+  const auto partition = rt::partition_rt_tasks(instance.rt_tasks, instance.num_cores);
+  if (!partition.has_value()) {
+    return infeasible_allocation(std::numeric_limits<std::size_t>::max(),
+                                 "RT tasks cannot be partitioned on M cores");
+  }
+  return allocate(instance, *partition);
+}
+
+}  // namespace hydra::core

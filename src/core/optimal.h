@@ -1,0 +1,37 @@
+// The 'Optimal' comparator (paper §IV-B.2): exhaustive search over all M^NS
+// security-task-to-core assignments; for each assignment the period vector is
+// optimized jointly (core/joint_period).  Exponential in NS — the paper (and
+// this library) uses it only on small instances (M = 2, NS ≤ 6, Fig. 3).
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.h"
+#include "core/joint_period.h"
+#include "rt/partition.h"
+
+namespace hydra::core {
+
+struct OptimalOptions {
+  JointPeriodOptions joint;  ///< per-assignment period optimization
+  /// Hard cap on M^NS enumerations; exceeding it throws std::invalid_argument
+  /// so a misconfigured sweep fails fast instead of running for hours.
+  std::size_t max_assignments = 1u << 20;
+};
+
+class OptimalAllocator {
+ public:
+  explicit OptimalAllocator(OptimalOptions options = {}) : options_(options) {}
+
+  /// Exhaustive search against an externally supplied RT partition (same
+  /// contract as HydraAllocator::allocate).
+  Allocation allocate(const Instance& instance, const rt::Partition& rt_partition) const;
+
+  /// Best-fit-partitions the RT tasks over all M cores first.
+  Allocation allocate(const Instance& instance) const;
+
+ private:
+  OptimalOptions options_;
+};
+
+}  // namespace hydra::core

@@ -1,0 +1,100 @@
+#include "core/period_adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gp/problem.h"
+#include "gp/solver.h"
+#include "rt/analysis.h"
+#include "util/contracts.h"
+
+namespace hydra::core {
+
+namespace {
+
+PeriodAdaptation solve_closed_form(const rt::SecurityTask& task,
+                                   const rt::InterferenceBound& bound) {
+  PeriodAdaptation out;
+  const auto t_min = min_feasible_period(task, bound);
+  if (!t_min.has_value()) return out;
+
+  const util::Millis period = std::max(task.period_des, *t_min);
+  if (!util::leq_tol(period, task.period_max)) return out;
+  // Defensive re-check of Eq. (6) at the chosen period.
+  if (!rt::security_schedulable(task, period, bound)) return out;
+
+  out.feasible = true;
+  out.period = std::min(period, task.period_max);  // clamp tolerance overshoot
+  out.tightness = task.period_des / out.period;
+  return out;
+}
+
+PeriodAdaptation solve_gp(const rt::SecurityTask& task, const rt::InterferenceBound& bound) {
+  PeriodAdaptation out;
+
+  // One-variable GP per the paper's appendix:
+  //   min Ts   s.t.  Tdes·Ts⁻¹ ≤ 1,  (1/Tmax)·Ts ≤ 1,
+  //                  (Cs + A)·Ts⁻¹ + B ≤ 1.
+  gp::GpProblem problem;
+  const gp::VarId ts = problem.add_variable("Ts[" + task.name + "]");
+  problem.set_objective(gp::Posynomial(problem.monomial(1.0).with(ts, 1.0)));
+  problem.add_bounds(ts, task.period_des, task.period_max);
+
+  gp::Posynomial sched = problem.posynomial();
+  sched += problem.monomial(task.wcet + bound.const_part).with(ts, -1.0);
+  if (bound.util_part > 0.0) sched += problem.monomial(bound.util_part);
+  problem.add_constraint_leq1(std::move(sched), "Cs + I(Ts) <= Ts");
+
+  // Start just inside the Tmax bound (the exact corner sits on the box
+  // boundary and would trigger the solver's phase-I program needlessly).
+  const double start =
+      std::max(task.period_des * (1.0 + 1e-9), task.period_max * (1.0 - 1e-6));
+  const gp::GpSolver solver;
+  const gp::SolveResult sr = solver.solve(problem, std::vector<double>{start});
+  if (!sr.ok()) return out;
+
+  out.feasible = true;
+  out.period = std::clamp(sr.x[0], task.period_des, task.period_max);
+  out.tightness = task.period_des / out.period;
+  return out;
+}
+
+}  // namespace
+
+std::optional<util::Millis> min_feasible_period(const rt::SecurityTask& task,
+                                                const rt::InterferenceBound& bound) {
+  const double slack_rate = 1.0 - bound.util_part;
+  if (slack_rate <= util::kTimeEpsilon) return std::nullopt;
+  return (task.wcet + bound.const_part) / slack_rate;
+}
+
+PeriodAdaptation adapt_period(const rt::SecurityTask& task, const rt::InterferenceBound& bound,
+                              PeriodSolver solver) {
+  rt::validate(task);
+  switch (solver) {
+    case PeriodSolver::kClosedForm:
+      return solve_closed_form(task, bound);
+    case PeriodSolver::kGeometricProgram:
+      return solve_gp(task, bound);
+    case PeriodSolver::kExactRta:
+      HYDRA_REQUIRE(false, "kExactRta needs interferer lists; call adapt_period_exact");
+  }
+  HYDRA_ASSERT(false, "unknown PeriodSolver");
+}
+
+PeriodAdaptation adapt_period_exact(const rt::SecurityTask& task,
+                                    const std::vector<rt::RtTask>& rt_on_core,
+                                    const std::vector<rt::PlacedSecurityTask>& hp_security,
+                                    util::Millis blocking) {
+  rt::validate(task);
+  PeriodAdaptation out;
+  const auto response =
+      rt::security_response_time(task, task.period_max, rt_on_core, hp_security, blocking);
+  if (!response.has_value()) return out;
+  out.feasible = true;
+  out.period = std::clamp(*response, task.period_des, task.period_max);
+  out.tightness = task.period_des / out.period;
+  return out;
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,69 @@
+// The per-(task, core) period-adaptation subproblem (paper Eq. 7):
+//
+//     max  ηs = Tdes_s/Ts
+//     s.t. Tdes_s ≤ Ts ≤ Tmax_s,   Cs + I(Ts) ≤ Ts
+//
+// for a *fixed* core and fixed higher-priority security periods, where
+// I(Ts) = A + B·Ts is the affine Eq. (5) bound.  Since η is strictly
+// decreasing in Ts, the optimum is the smallest feasible period.
+//
+// Two interchangeable solution routes are provided:
+//
+//   kClosedForm — the affine constraint yields T* = (Cs + A)/(1 − B) when
+//                 B < 1, so the answer is clamp(T*, Tdes, Tmax) directly.
+//   kGeometricProgram — the paper's route: a one-variable GP (minimize the
+//                 monomial Ts subject to posynomial constraints), solved with
+//                 the interior-point machinery in src/gp.  Exists to mirror
+//                 the publication faithfully and to cross-validate the
+//                 closed form; results agree to solver tolerance (tested).
+#pragma once
+
+#include <optional>
+
+#include "rt/interference.h"
+#include "rt/task.h"
+#include "util/units.h"
+
+namespace hydra::core {
+
+enum class PeriodSolver {
+  kClosedForm,
+  kGeometricProgram,
+  /// Exact response-time analysis instead of the paper's linear Eq. (5)
+  /// bound.  Admits tighter periods (the bound is conservative); requires the
+  /// full interferer lists, so it is served by adapt_period_exact and, in the
+  /// allocators, selected via their options.  An ablation bench quantifies
+  /// the conservatism.
+  kExactRta,
+};
+
+struct PeriodAdaptation {
+  bool feasible = false;
+  util::Millis period = 0.0;  ///< optimal Ts when feasible
+  double tightness = 0.0;     ///< Tdes/Ts when feasible
+};
+
+/// Solves Eq. (7) for `task` against the interference bound of a candidate
+/// core.  Never throws on infeasibility — that is a normal outcome.
+/// PeriodSolver::kExactRta is not servable from an aggregated bound and is
+/// rejected here — use adapt_period_exact.
+PeriodAdaptation adapt_period(const rt::SecurityTask& task, const rt::InterferenceBound& bound,
+                              PeriodSolver solver = PeriodSolver::kClosedForm);
+
+/// Eq. (7) with exact response-time analysis in place of the linear bound.
+/// The response time R of the lowest-priority-band task does not depend on
+/// its own period, so the optimum is simply clamp(R, Tdes, Tmax) — feasible
+/// iff R ≤ Tmax.
+PeriodAdaptation adapt_period_exact(const rt::SecurityTask& task,
+                                    const std::vector<rt::RtTask>& rt_on_core,
+                                    const std::vector<rt::PlacedSecurityTask>& hp_security,
+                                    util::Millis blocking = 0.0);
+
+/// The smallest period satisfying Cs + A + B·Ts ≤ Ts, ignoring the
+/// [Tdes, Tmax] box: (Cs + A)/(1 − B).  nullopt when B ≥ 1 (interferers
+/// saturate the core).  Exposed for tests and for the joint optimizer's
+/// start-point construction.
+std::optional<util::Millis> min_feasible_period(const rt::SecurityTask& task,
+                                                const rt::InterferenceBound& bound);
+
+}  // namespace hydra::core

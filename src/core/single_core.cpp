@@ -1,0 +1,74 @@
+#include "core/single_core.h"
+
+#include <limits>
+
+#include "core/joint_period.h"
+#include "rt/interference.h"
+#include "rt/priority.h"
+#include "util/contracts.h"
+
+namespace hydra::core {
+
+Allocation SingleCoreAllocator::allocate(const Instance& instance) const {
+  instance.validate();
+  HYDRA_REQUIRE(instance.num_cores >= 2,
+                "SingleCore needs at least two cores (one reserved for security)");
+
+  // RT tasks go on cores 0..M−2.
+  const std::size_t security_core = instance.num_cores - 1;
+  const auto rt_partition_small =
+      rt::partition_rt_tasks(instance.rt_tasks, instance.num_cores - 1);
+  if (!rt_partition_small.has_value()) {
+    return infeasible_allocation(std::numeric_limits<std::size_t>::max(),
+                                 "RT tasks cannot be partitioned on M-1 cores");
+  }
+
+  // Re-express the partition over all M cores (core M−1 stays empty of RT).
+  rt::Partition rt_partition;
+  rt_partition.num_cores = instance.num_cores;
+  rt_partition.core_of = rt_partition_small->core_of;
+
+  Allocation result;
+  result.rt_partition = rt_partition;
+  result.placements.assign(instance.security_tasks.size(), TaskPlacement{});
+
+  // Sequential period adaptation on the dedicated core, priority order.
+  // No RT interference there — only the higher-priority security tasks.
+  std::vector<rt::PlacedSecurityTask> placed;
+  const auto order = rt::security_priority_order(instance.security_tasks);
+  for (const std::size_t s : order) {
+    const rt::SecurityTask& task = instance.security_tasks[s];
+    const auto bound = rt::interference_bound({}, placed, options_.blocking);
+    const PeriodAdaptation pa =
+        options_.solver == PeriodSolver::kExactRta
+            ? adapt_period_exact(task, {}, placed, options_.blocking)
+            : adapt_period(task, bound, options_.solver);
+    if (!pa.feasible) {
+      return infeasible_allocation(
+          s, "dedicated core admits no acceptable period for '" + task.name + "'");
+    }
+    result.placements[s] = TaskPlacement{security_core, pa.period, pa.tightness};
+    placed.push_back(rt::PlacedSecurityTask{task.wcet, pa.period});
+  }
+  result.feasible = true;
+
+  if (options_.joint_refinement && !instance.security_tasks.empty()) {
+    std::vector<std::size_t> core_of(instance.security_tasks.size(), security_core);
+    JointPeriodOptions jopts;
+    jopts.objective = JointObjective::kSignomialScp;
+    jopts.blocking = options_.blocking;
+    const JointPeriodResult joint =
+        optimize_joint_periods(instance, rt_partition, core_of, jopts);
+    if (joint.feasible &&
+        joint.cumulative_tightness > result.cumulative_tightness(instance.security_tasks)) {
+      for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+        result.placements[s].period = joint.periods[s];
+        result.placements[s].tightness =
+            instance.security_tasks[s].period_des / joint.periods[s];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,41 @@
+// The SingleCore comparator (paper §IV): dedicate one core to security.
+//
+// All RT tasks are partitioned onto cores 0..M−2; every security task is
+// assigned to core M−1.  Security tasks see no RT interference (the first
+// term of Eq. (5) vanishes) but still interfere with each other, which is
+// exactly what degrades their periods at scale.  Periods are adapted in
+// priority order with the same Eq. (7) subproblem HYDRA uses, so the two
+// schemes differ only in the placement policy — the comparison the paper
+// makes.  A joint-optimization mode (paper: "solved using an approach
+// similar to the one described in the Appendix") is available as an option.
+#pragma once
+
+#include "core/instance.h"
+#include "core/period_adaptation.h"
+
+namespace hydra::core {
+
+struct SingleCoreOptions {
+  PeriodSolver solver = PeriodSolver::kClosedForm;
+  /// When true, after sequential adaptation the dedicated core's periods are
+  /// re-optimized jointly (SumSurrogate GP), matching the appendix remark.
+  bool joint_refinement = false;
+  util::Millis blocking = 0.0;
+};
+
+class SingleCoreAllocator {
+ public:
+  explicit SingleCoreAllocator(SingleCoreOptions options = {}) : options_(options) {}
+
+  /// Requires M >= 2 (one core must remain for the RT workload).
+  /// Infeasible when the RT tasks cannot be packed on M−1 cores or some
+  /// security task admits no acceptable period on the dedicated core.
+  Allocation allocate(const Instance& instance) const;
+
+  const SingleCoreOptions& options() const { return options_; }
+
+ private:
+  SingleCoreOptions options_;
+};
+
+}  // namespace hydra::core

@@ -1,0 +1,92 @@
+#include "gen/randfixedsum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace hydra::gen {
+
+std::vector<double> randfixedsum(std::size_t n, double sum, double lo, double hi,
+                                 util::Xoshiro256& rng) {
+  HYDRA_REQUIRE(n >= 1, "randfixedsum: need at least one value");
+  HYDRA_REQUIRE(lo < hi, "randfixedsum: empty range");
+  const double nd = static_cast<double>(n);
+  HYDRA_REQUIRE(nd * lo <= sum + 1e-12 && sum <= nd * hi + 1e-12,
+                "randfixedsum: sum unreachable with given bounds");
+
+  // Rescale to the unit cube: components in [0, 1], target sum s in [0, n].
+  double s = (sum - nd * lo) / (hi - lo);
+  s = std::clamp(s, 0.0, nd);
+
+  if (n == 1) return {lo + (hi - lo) * s};
+
+  // k: integer part of s, constrained so both s1 and s2 stay in [0, 1] where
+  // they are used.
+  const double kd = std::clamp(std::floor(s), 0.0, nd - 1.0);
+  s = std::clamp(s, kd, kd + 1.0);
+  const std::size_t k = static_cast<std::size_t>(kd);
+
+  // s1[j] = s − (k − j),  s2[j] = (k + n − j) − s   for j = 0..n−1.
+  std::vector<double> s1(n), s2(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    s1[j] = s - (kd - static_cast<double>(j));
+    s2[j] = (kd + nd - static_cast<double>(j)) - s;
+  }
+
+  // Probability table w (n rows, n+1 columns) and transition table t
+  // (n−1 rows, n columns), exactly as in the MATLAB original.
+  const double huge_val = std::numeric_limits<double>::max();
+  const double tiny_val = std::numeric_limits<double>::min();
+  std::vector<std::vector<double>> w(n, std::vector<double>(n + 1, 0.0));
+  std::vector<std::vector<double>> t(n - 1, std::vector<double>(n, 0.0));
+  w[0][1] = huge_val;
+
+  for (std::size_t i = 2; i <= n; ++i) {
+    const double id = static_cast<double>(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      // tmp1 = w(i−1, j+1)·s1(j)/i ; tmp2 = w(i−1, j)·s2(n−i+j)/i  (0-based).
+      const double tmp1 = w[i - 2][j + 1] * s1[j] / id;
+      const double tmp2 = w[i - 2][j] * s2[n - i + j] / id;
+      w[i - 1][j + 1] = tmp1 + tmp2;
+      const double tmp3 = w[i - 1][j + 1] + tiny_val;
+      if (s2[n - i + j] > s1[j]) {
+        t[i - 2][j] = tmp2 / tmp3;
+      } else {
+        t[i - 2][j] = 1.0 - tmp1 / tmp3;
+      }
+    }
+  }
+
+  // Conditional sampling pass.
+  std::vector<double> x(n, 0.0);
+  double s_work = s;
+  std::size_t j = k + 1;  // 1-based column into t
+  double sm = 0.0;
+  double pr = 1.0;
+  for (std::size_t back = n - 1; back >= 1; --back) {  // MATLAB loop i = n−1..1
+    const double id = static_cast<double>(back);
+    const bool e = rng.uniform01() <= t[back - 1][j - 1];
+    const double sx = std::pow(rng.uniform01(), 1.0 / id);
+    sm += (1.0 - sx) * pr * s_work / (id + 1.0);
+    pr *= sx;
+    x[n - back - 1] = sm + pr * (e ? 1.0 : 0.0);
+    if (e) {
+      s_work -= 1.0;
+      j -= 1;
+    }
+  }
+  x[n - 1] = sm + pr * s_work;
+
+  // Random permutation — components are exchangeable only after shuffling.
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(0, i));
+    std::swap(x[i], x[pick]);
+  }
+
+  for (auto& v : x) v = lo + (hi - lo) * std::clamp(v, 0.0, 1.0);
+  return x;
+}
+
+}  // namespace hydra::gen

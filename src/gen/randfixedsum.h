@@ -1,0 +1,24 @@
+// Randfixedsum (Roger Stafford, 2006; adopted for multiprocessor taskset
+// synthesis by Emberson, Stafford & Davis, WATERS 2010 [23]).
+//
+// Draws n values, each in [lo, hi], whose sum is exactly `sum`, uniformly
+// over that (n−1)-simplex slice.  This is the paper's §IV-B "unbiased set of
+// utilization values" generator: naive normalize-to-sum approaches bias the
+// marginal distribution, Randfixedsum does not.
+//
+// Port of the original MATLAB randfixedsum.m (probability-table + conditional
+// sampling), specialized to one sample per call.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hydra::gen {
+
+/// Requires n >= 1, lo < hi, and n·lo <= sum <= n·hi (throws otherwise).
+/// The returned vector is randomly permuted (exchangeable components).
+std::vector<double> randfixedsum(std::size_t n, double sum, double lo, double hi,
+                                 util::Xoshiro256& rng);
+
+}  // namespace hydra::gen

@@ -1,0 +1,30 @@
+#include "gen/uav.h"
+
+#include "sec/catalog.h"
+
+namespace hydra::gen {
+
+std::vector<rt::RtTask> uav_taskset() {
+  // (name, WCET ms, period ms); utilizations sum to ≈ 0.615.
+  std::vector<rt::RtTask> tasks = {
+      rt::make_rt_task("fast_navigation", 10.0, 50.0),   // u = 0.200
+      rt::make_rt_task("controller", 15.0, 100.0),       // u = 0.150
+      rt::make_rt_task("slow_navigation", 20.0, 200.0),  // u = 0.100
+      rt::make_rt_task("guidance", 25.0, 250.0),         // u = 0.100
+      rt::make_rt_task("missile_control", 5.0, 200.0),   // u = 0.025
+      rt::make_rt_task("reconnaissance", 40.0, 1000.0),  // u = 0.040
+  };
+  rt::validate(tasks);
+  return tasks;
+}
+
+core::Instance uav_case_study(std::size_t num_cores) {
+  core::Instance instance;
+  instance.num_cores = num_cores;
+  instance.rt_tasks = uav_taskset();
+  instance.security_tasks = sec::tripwire_bro_tasks();
+  instance.validate();
+  return instance;
+}
+
+}  // namespace hydra::gen

@@ -1,0 +1,46 @@
+#include "gen/uunifast.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contracts.h"
+
+namespace hydra::gen {
+
+std::vector<double> uunifast(std::size_t n, double sum, util::Xoshiro256& rng) {
+  HYDRA_REQUIRE(n >= 1, "uunifast: need at least one value");
+  HYDRA_REQUIRE(sum > 0.0, "uunifast: sum must be positive");
+  std::vector<double> u(n);
+  double remaining = sum;
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    // next = remaining · r^(1/(n-i-1)) keeps the partial sums uniform over
+    // the simplex (Bini & Buttazzo's recurrence).
+    const double exponent = 1.0 / static_cast<double>(n - i - 1);
+    const double next = remaining * std::pow(rng.uniform01(), exponent);
+    u[i] = remaining - next;
+    remaining = next;
+  }
+  u[n - 1] = remaining;
+  return u;
+}
+
+std::vector<double> uunifast_discard(std::size_t n, double sum, double cap,
+                                     util::Xoshiro256& rng, int max_attempts) {
+  HYDRA_REQUIRE(cap > 0.0, "uunifast_discard: cap must be positive");
+  HYDRA_REQUIRE(sum <= cap * static_cast<double>(n) + 1e-12,
+                "uunifast_discard: sum unreachable under the cap");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto u = uunifast(n, sum, rng);
+    bool ok = true;
+    for (const double v : u) {
+      if (v > cap) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return u;
+  }
+  throw std::runtime_error("uunifast_discard: cap rejected every draw");
+}
+
+}  // namespace hydra::gen

@@ -1,0 +1,27 @@
+// UUniFast (Bini & Buttazzo, 2005): the classic O(n) unbiased utilization
+// generator for uniprocessor budgets (sum ≤ 1 guaranteed by construction;
+// individual values are NOT capped).  Provided alongside Randfixedsum [23]
+// because much of the single-core RT literature uses it; the generator
+// ablation in the tests shows where the two distributions differ (UUniFast
+// can exceed a per-task cap that Randfixedsum respects, which matters for
+// multiprocessor sums > 1 — hence the paper's choice of Randfixedsum).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hydra::gen {
+
+/// Draws n utilizations summing to `sum`, uniformly over the simplex.
+/// Requires n >= 1 and sum > 0.  Unlike randfixedsum there is no per-value
+/// upper bound: a single value may take (nearly) the whole sum.
+std::vector<double> uunifast(std::size_t n, double sum, util::Xoshiro256& rng);
+
+/// UUniFast-Discard (Davis & Burns): redraws until every value is <= cap.
+/// The standard multiprocessor adaptation; may throw std::runtime_error if
+/// `max_attempts` draws all violate the cap (cap too tight for the sum).
+std::vector<double> uunifast_discard(std::size_t n, double sum, double cap,
+                                     util::Xoshiro256& rng, int max_attempts = 1000);
+
+}  // namespace hydra::gen

@@ -1,0 +1,143 @@
+#include "gp/barrier.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/cholesky.h"
+#include "util/contracts.h"
+
+namespace hydra::gp {
+
+namespace {
+
+/// Barrier value φ_t(y) with gradient/Hessian; `feasible == false` (and value
+/// +inf) when y violates a constraint, so line searches reject such points.
+struct BarrierEval {
+  double value = std::numeric_limits<double>::infinity();
+  linalg::Vector grad;
+  linalg::Matrix hess;
+  bool feasible = false;
+};
+
+/// Value-only barrier evaluation for line searches: no derivative work, no
+/// matrix allocations.
+BarrierEval eval_barrier_value(const SmoothFn& f0, const std::vector<SmoothFn>& cons, double t,
+                               const linalg::Vector& y) {
+  BarrierEval out;
+  double value = t * f0(y, EvalLevel::kValue).value;
+  for (const auto& ci : cons) {
+    const double cv = ci(y, EvalLevel::kValue).value;
+    if (!(cv < 0.0)) return out;  // infeasible
+    value -= std::log(-cv);
+  }
+  out.value = value;
+  out.feasible = true;
+  return out;
+}
+
+/// Full barrier evaluation for Newton step assembly.
+BarrierEval eval_barrier_full(const SmoothFn& f0, const std::vector<SmoothFn>& cons, double t,
+                              const linalg::Vector& y) {
+  BarrierEval out;
+  const std::size_t n = y.size();
+
+  const FnEval e0 = f0(y, EvalLevel::kFull);
+  double value = t * e0.value;
+  linalg::Vector grad = e0.grad;
+  grad *= t;
+  linalg::Matrix hess = e0.hess;
+  hess *= t;
+
+  for (const auto& ci : cons) {
+    const FnEval ei = ci(y, EvalLevel::kFull);
+    if (!(ei.value < 0.0)) return out;  // infeasible: value stays +inf
+    value -= std::log(-ei.value);
+    const double inv = 1.0 / (-ei.value);  // > 0
+    for (std::size_t k = 0; k < n; ++k) grad[k] += inv * ei.grad[k];
+    // ∇² of −log(−Fi) = (1/Fi²)·g gᵀ + (1/(−Fi))·H.
+    hess.add_outer(ei.grad, inv * inv);
+    linalg::Matrix scaled = ei.hess;
+    scaled *= inv;
+    hess += scaled;
+  }
+
+  out.value = value;
+  out.feasible = true;
+  out.grad = std::move(grad);
+  out.hess = std::move(hess);
+  return out;
+}
+
+}  // namespace
+
+BarrierResult barrier_minimize(const SmoothFn& f0, const std::vector<SmoothFn>& constraints,
+                               const linalg::Vector& y0, const BarrierOptions& opts) {
+  HYDRA_REQUIRE(y0.size() > 0, "barrier_minimize: empty start point");
+  HYDRA_REQUIRE(eval_barrier_value(f0, constraints, opts.t0, y0).feasible,
+                "barrier_minimize: start point is not strictly feasible");
+
+  BarrierResult result;
+  result.y = y0;
+  double t = opts.t0;
+  const double m = static_cast<double>(constraints.size());
+  // With no constraints the inner tolerance IS the final accuracy (there is
+  // no outer loop to tighten things); Newton is quadratic near the optimum,
+  // so a much smaller tolerance costs only a couple of extra steps.
+  const double newton_tol =
+      constraints.empty() ? std::fmin(opts.newton_tol, 1e-14) : opts.newton_tol;
+
+  while (true) {
+    // --- Inner loop: damped Newton on φ_t. ---
+    for (int it = 0; it < opts.max_newton_per_stage; ++it) {
+      const BarrierEval cur = eval_barrier_full(f0, constraints, t, result.y);
+      HYDRA_ASSERT(cur.feasible, "iterate left the feasible region");
+
+      linalg::Vector neg_grad = cur.grad;
+      neg_grad *= -1.0;
+      const linalg::Vector step = linalg::solve_spd(cur.hess, neg_grad);
+      // Newton decrement λ² = gradᵀ H⁻¹ grad = −gradᵀ·step.
+      const double decrement = -dot(cur.grad, step);
+      if (decrement * 0.5 <= newton_tol) break;
+
+      // Backtracking line search: stay strictly feasible + Armijo decrease.
+      double step_len = 1.0;
+      bool moved = false;
+      linalg::Vector cand(result.y.size());
+      for (int bt = 0; bt < opts.max_backtracks; ++bt) {
+        for (std::size_t i = 0; i < cand.size(); ++i) {
+          cand[i] = result.y[i] + step_len * step[i];
+        }
+        const BarrierEval ce = eval_barrier_value(f0, constraints, t, cand);
+        if (ce.feasible &&
+            ce.value <= cur.value - opts.armijo_alpha * step_len * decrement) {
+          result.y = cand;
+          moved = true;
+          break;
+        }
+        step_len *= opts.backtrack_beta;
+      }
+      ++result.newton_steps;
+      if (!moved) break;  // step too small to make progress at this t
+
+      const double obj = f0(result.y, EvalLevel::kValue).value;
+      if (obj < opts.unbounded_below) {
+        result.status = BarrierStatus::kUnbounded;
+        result.objective = obj;
+        return result;
+      }
+    }
+
+    result.objective = f0(result.y, EvalLevel::kValue).value;
+    if (m == 0.0 || m / t < opts.duality_gap_tol) {
+      result.status = BarrierStatus::kOptimal;
+      return result;
+    }
+    if (result.newton_steps >= 20 * opts.max_newton_per_stage) {
+      result.status = BarrierStatus::kMaxIterations;
+      return result;
+    }
+    t *= opts.mu;
+  }
+}
+
+}  // namespace hydra::gp

@@ -1,0 +1,86 @@
+#include "gp/scp.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace hydra::gp {
+
+Monomial condense(const Posynomial& f, const std::vector<double>& x_bar) {
+  HYDRA_REQUIRE(!f.empty(), "cannot condense an empty posynomial");
+  const double total = f.eval(x_bar);
+  HYDRA_REQUIRE(total > 0.0 && std::isfinite(total), "condensation point must give f > 0");
+
+  // f̂ = Π (u_k/α_k)^{α_k}: coefficient Π (c_k/α_k)^{α_k}, exponents Σ α_k·a_k.
+  Monomial out(1.0, f.num_vars());
+  double log_coeff = 0.0;
+  for (const auto& term : f.terms()) {
+    const double alpha = term.eval(x_bar) / total;
+    if (alpha <= 0.0) continue;  // vanishing weight contributes nothing
+    log_coeff += alpha * (std::log(term.coeff()) - std::log(alpha));
+    for (VarId v = 0; v < f.num_vars(); ++v) {
+      const double e = term.exponent(v);
+      if (e != 0.0) out.with(v, alpha * e);
+    }
+  }
+  return out.scaled(std::exp(log_coeff));
+}
+
+namespace {
+
+/// One condensation pass from `x0`; returns the refined point or nullopt if
+/// any inner GP fails.
+std::optional<ScpResult> refine_from(const GpProblem& constraints, const Posynomial& objective,
+                                     std::vector<double> x0, const ScpOptions& options) {
+  const GpSolver solver(options.gp);
+  ScpResult best;
+  double prev = -1.0;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    // GP: minimize the reciprocal of the monomial lower bound at x0.
+    GpProblem gp;
+    for (VarId v = 0; v < constraints.num_variables(); ++v) {
+      gp.add_variable(constraints.variable_name(v));
+    }
+    gp.set_objective(Posynomial(condense(objective, x0).reciprocal()));
+    for (std::size_t i = 0; i < constraints.constraints().size(); ++i) {
+      gp.add_constraint_leq1(constraints.constraints()[i], constraints.constraint_labels()[i]);
+    }
+
+    const SolveResult sr = solver.solve(gp, x0);
+    if (!sr.ok()) return std::nullopt;
+
+    const double value = objective.eval(sr.x);
+    best.feasible = true;
+    best.x = sr.x;
+    best.objective = value;
+    best.rounds = round + 1;
+    if (prev > 0.0 && std::fabs(value - prev) <= options.rel_tol * std::fabs(prev)) break;
+    prev = value;
+    x0 = sr.x;
+  }
+  return best;
+}
+
+}  // namespace
+
+ScpResult maximize_posynomial_scp(const GpProblem& constraints, const Posynomial& objective,
+                                  const std::vector<std::vector<double>>& start_points,
+                                  const ScpOptions& options) {
+  HYDRA_REQUIRE(objective.num_vars() == constraints.num_variables(),
+                "objective/constraint variable count mismatch");
+  HYDRA_REQUIRE(!start_points.empty(), "at least one start point required");
+
+  ScpResult best;
+  for (const auto& x0 : start_points) {
+    HYDRA_REQUIRE(x0.size() == constraints.num_variables(), "start point size mismatch");
+    const auto refined = refine_from(constraints, objective, x0, options);
+    if (refined.has_value() && refined->feasible &&
+        (!best.feasible || refined->objective > best.objective)) {
+      best = *refined;
+    }
+  }
+  return best;
+}
+
+}  // namespace hydra::gp

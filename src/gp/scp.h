@@ -1,0 +1,50 @@
+// Signomial extension: maximizing a posynomial via sequential convex
+// programming (monomial condensation).
+//
+// The paper's joint objective — maximize Σ ωs·Tdes_s/Ts — is a posynomial to
+// *maximize*, which is not a GP (see DESIGN.md §5).  The standard remedy
+// (Boyd et al. [28], §9 "Signomial programming") replaces the posynomial
+// f(x) = Σ u_k(x) at the current iterate x̄ by its arithmetic-geometric-mean
+// monomial lower bound
+//
+//     f(x) ≥ f̂(x) = Π ( u_k(x) / α_k )^{α_k},   α_k = u_k(x̄)/f(x̄),
+//
+// which is tight at x̄.  Maximizing the monomial f̂ is a GP (minimize f̂⁻¹),
+// and iterating to a fixed point yields a KKT point of the original signomial
+// program.  Multi-start over caller-supplied seeds guards against poor local
+// optima; tests validate against dense grid search on small instances.
+#pragma once
+
+#include <vector>
+
+#include "gp/problem.h"
+#include "gp/solver.h"
+
+namespace hydra::gp {
+
+struct ScpOptions {
+  SolveOptions gp;          ///< options for each inner GP solve
+  int max_rounds = 25;      ///< condensation iterations per start point
+  double rel_tol = 1e-6;    ///< stop when objective improves less than this
+};
+
+struct ScpResult {
+  bool feasible = false;
+  std::vector<double> x;    ///< best point found
+  double objective = 0.0;   ///< maximized posynomial value at x
+  int rounds = 0;           ///< condensation rounds used (best start)
+};
+
+/// Builds the AM-GM monomial lower bound of `f` at the positive point `x_bar`.
+/// Exposed for testing; requires f(x_bar) > 0.
+Monomial condense(const Posynomial& f, const std::vector<double>& x_bar);
+
+/// Maximizes the posynomial `objective` subject to `constraints.is_feasible`,
+/// where `constraints` carries the posynomial <= 1 constraint set (its
+/// objective, if any, is ignored).  Each start point is refined by iterated
+/// condensation; the best feasible result wins.
+ScpResult maximize_posynomial_scp(const GpProblem& constraints, const Posynomial& objective,
+                                  const std::vector<std::vector<double>>& start_points,
+                                  const ScpOptions& options = {});
+
+}  // namespace hydra::gp

@@ -1,0 +1,140 @@
+#include "gp/terms.h"
+
+#include <cmath>
+
+namespace hydra::gp {
+
+Monomial::Monomial(double coeff, std::size_t num_vars) : coeff_(coeff), exponents_(num_vars, 0.0) {
+  HYDRA_REQUIRE(std::isfinite(coeff) && coeff > 0.0, "monomial coefficient must be positive");
+}
+
+Monomial& Monomial::with(VarId v, double exponent) {
+  HYDRA_REQUIRE(v < exponents_.size(), "monomial variable index out of range");
+  HYDRA_REQUIRE(std::isfinite(exponent), "monomial exponent must be finite");
+  exponents_[v] += exponent;
+  return *this;
+}
+
+double Monomial::exponent(VarId v) const {
+  HYDRA_REQUIRE(v < exponents_.size(), "monomial variable index out of range");
+  return exponents_[v];
+}
+
+double Monomial::eval(const std::vector<double>& x) const {
+  HYDRA_REQUIRE(x.size() == exponents_.size(), "monomial evaluation point size mismatch");
+  double acc = coeff_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (exponents_[i] == 0.0) continue;
+    HYDRA_REQUIRE(x[i] > 0.0, "monomial variables must be positive");
+    acc *= std::pow(x[i], exponents_[i]);
+  }
+  return acc;
+}
+
+double Monomial::log_eval(const linalg::Vector& y) const {
+  HYDRA_REQUIRE(y.size() == exponents_.size(), "monomial log point size mismatch");
+  double acc = std::log(coeff_);
+  for (std::size_t i = 0; i < exponents_.size(); ++i) acc += exponents_[i] * y[i];
+  return acc;
+}
+
+Monomial operator*(const Monomial& a, const Monomial& b) {
+  HYDRA_REQUIRE(a.exponents_.size() == b.exponents_.size(), "monomial size mismatch");
+  Monomial out(a.coeff_ * b.coeff_, a.exponents_.size());
+  for (std::size_t i = 0; i < out.exponents_.size(); ++i) {
+    out.exponents_[i] = a.exponents_[i] + b.exponents_[i];
+  }
+  return out;
+}
+
+Monomial Monomial::reciprocal() const {
+  Monomial out(1.0 / coeff_, exponents_.size());
+  for (std::size_t i = 0; i < exponents_.size(); ++i) out.exponents_[i] = -exponents_[i];
+  return out;
+}
+
+Monomial Monomial::scaled(double factor) const {
+  HYDRA_REQUIRE(std::isfinite(factor) && factor > 0.0, "scale factor must be positive");
+  Monomial out = *this;
+  out.coeff_ *= factor;
+  return out;
+}
+
+Posynomial::Posynomial(Monomial m) : num_vars_(m.num_vars()) { terms_.push_back(std::move(m)); }
+
+Posynomial& Posynomial::operator+=(const Monomial& m) {
+  HYDRA_REQUIRE(m.num_vars() == num_vars_, "posynomial term size mismatch");
+  terms_.push_back(m);
+  return *this;
+}
+
+Posynomial& Posynomial::operator+=(const Posynomial& p) {
+  HYDRA_REQUIRE(p.num_vars_ == num_vars_, "posynomial size mismatch");
+  for (const auto& t : p.terms_) terms_.push_back(t);
+  return *this;
+}
+
+double Posynomial::eval(const std::vector<double>& x) const {
+  double acc = 0.0;
+  for (const auto& t : terms_) acc += t.eval(x);
+  return acc;
+}
+
+LogEval Posynomial::log_eval(const linalg::Vector& y, bool need_hess) const {
+  HYDRA_REQUIRE(!terms_.empty(), "cannot evaluate the log of an empty posynomial");
+  const std::size_t n = num_vars_;
+  const std::size_t k = terms_.size();
+
+  // u_k = a_kᵀ y + log c_k, max-shifted for stability.
+  std::vector<double> u(k);
+  double u_max = -1e308;
+  for (std::size_t t = 0; t < k; ++t) {
+    u[t] = terms_[t].log_eval(y);
+    u_max = std::fmax(u_max, u[t]);
+  }
+  double wsum = 0.0;
+  std::vector<double> w(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    w[t] = std::exp(u[t] - u_max);
+    wsum += w[t];
+  }
+
+  LogEval out;
+  out.value = u_max + std::log(wsum);
+  out.grad = linalg::Vector(n);
+  for (std::size_t t = 0; t < k; ++t) {
+    const double p = w[t] / wsum;  // softmax weight
+    for (std::size_t i = 0; i < n; ++i) out.grad[i] += p * terms_[t].exponent(i);
+  }
+
+  if (need_hess) {
+    // H = Σ p_k a_k a_kᵀ − g gᵀ  (positive semidefinite).
+    out.hess = linalg::Matrix(n, n);
+    linalg::Vector a(n);
+    for (std::size_t t = 0; t < k; ++t) {
+      const double p = w[t] / wsum;
+      for (std::size_t i = 0; i < n; ++i) a[i] = terms_[t].exponent(i);
+      out.hess.add_outer(a, p);
+    }
+    out.hess.add_outer(out.grad, -1.0);
+    out.has_hess = true;
+  }
+  return out;
+}
+
+double Posynomial::log_value(const linalg::Vector& y) const {
+  HYDRA_REQUIRE(!terms_.empty(), "cannot evaluate the log of an empty posynomial");
+  double u_max = -1e308;
+  for (const auto& t : terms_) u_max = std::fmax(u_max, t.log_eval(y));
+  double wsum = 0.0;
+  for (const auto& t : terms_) wsum += std::exp(t.log_eval(y) - u_max);
+  return u_max + std::log(wsum);
+}
+
+Posynomial Posynomial::times(const Monomial& m) const {
+  Posynomial out(num_vars_);
+  for (const auto& t : terms_) out += t * m;
+  return out;
+}
+
+}  // namespace hydra::gp

@@ -1,0 +1,41 @@
+// Console table and CSV emitters shared by the benches so every figure/table
+// reproduction prints in one consistent, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hydra::io {
+
+/// A simple column-aligned text table.  Cells are strings; numeric helpers
+/// format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with padded columns, a header underline and `indent` leading
+  /// spaces per line.
+  void print(std::ostream& os, int indent = 0) const;
+
+  /// Renders as CSV (no quoting: callers keep cells comma-free).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers.
+std::string fmt(double value, int precision = 3);
+std::string fmt_percent(double value, int precision = 2);
+
+/// Prints a `== title ==` style section banner.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace hydra::io

@@ -1,0 +1,111 @@
+#include "io/taskset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace hydra::io {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& why) {
+  throw std::invalid_argument("taskset parse error at line " + std::to_string(line_no) + ": " +
+                              why);
+}
+
+/// Emits a double without trailing-zero noise (round-trips exactly).
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_text(const core::Instance& instance) {
+  std::ostringstream os;
+  os << "# hydra taskset (times in ms)\n";
+  os << "cores " << instance.num_cores << "\n";
+  for (const auto& t : instance.rt_tasks) {
+    os << "rt " << t.name << " " << num(t.wcet) << " " << num(t.period);
+    if (t.deadline != t.period) os << " " << num(t.deadline);
+    os << "\n";
+  }
+  for (const auto& s : instance.security_tasks) {
+    os << "sec " << s.name << " " << num(s.wcet) << " " << num(s.period_des) << " "
+       << num(s.period_max);
+    if (s.weight != 1.0) os << " " << num(s.weight);
+    os << "\n";
+  }
+  return os.str();
+}
+
+core::Instance instance_from_text(const std::string& text) {
+  core::Instance instance;
+  bool saw_cores = false;
+
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank/comment line
+
+    if (kind == "cores") {
+      long long m = 0;
+      if (!(fields >> m) || m < 1) parse_error(line_no, "cores expects a positive integer");
+      instance.num_cores = static_cast<std::size_t>(m);
+      saw_cores = true;
+    } else if (kind == "rt") {
+      std::string name;
+      double wcet = 0.0, period = 0.0;
+      if (!(fields >> name >> wcet >> period)) {
+        parse_error(line_no, "rt expects: name wcet period [deadline]");
+      }
+      double deadline = period;
+      if (double d = 0.0; fields >> d) deadline = d;  // optional field
+      instance.rt_tasks.push_back(rt::RtTask{name, wcet, period, deadline});
+    } else if (kind == "sec") {
+      std::string name;
+      double wcet = 0.0, t_des = 0.0, t_max = 0.0;
+      if (!(fields >> name >> wcet >> t_des >> t_max)) {
+        parse_error(line_no, "sec expects: name wcet tdes tmax [weight]");
+      }
+      double weight = 1.0;
+      if (double w = 0.0; fields >> w) weight = w;  // optional field
+      instance.security_tasks.push_back(rt::SecurityTask{name, wcet, t_des, t_max, weight});
+    } else {
+      parse_error(line_no, "unknown record '" + kind + "'");
+    }
+  }
+
+  if (!saw_cores) throw std::invalid_argument("taskset parse error: missing 'cores' record");
+  try {
+    instance.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("taskset semantic error: ") + e.what());
+  }
+  return instance;
+}
+
+void save_instance(const core::Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << to_text(instance);
+}
+
+core::Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return instance_from_text(buffer.str());
+}
+
+}  // namespace hydra::io

@@ -1,0 +1,73 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hydra::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  HYDRA_REQUIRE(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return l;
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+  HYDRA_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(), "cholesky_solve: size mismatch");
+  const std::size_t n = b.size();
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  // Back substitution: Lᵀ x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_spd(const Matrix& a, const Vector& b) {
+  HYDRA_REQUIRE(a.rows() == a.cols() && a.rows() == b.size(), "solve_spd: size mismatch");
+  const std::size_t n = a.rows();
+  // Scale regularization to the matrix magnitude so it is meaningful for both
+  // tiny and large Hessians.
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) max_abs = std::fmax(max_abs, std::fabs(a(i, j)));
+  }
+  if (max_abs == 0.0) max_abs = 1.0;
+
+  double reg = 0.0;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    Matrix work = a;
+    if (reg > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) work(i, i) += reg;
+    }
+    if (auto l = cholesky(work)) {
+      Vector x = cholesky_solve(*l, b);
+      if (x.all_finite()) return x;
+    }
+    reg = (reg == 0.0) ? 1e-12 * max_abs : reg * 10.0;
+  }
+  throw std::runtime_error("solve_spd: matrix not factorizable even with regularization");
+}
+
+}  // namespace hydra::linalg

@@ -1,0 +1,29 @@
+// Symmetric positive-definite solves for Newton systems.
+//
+// `solve_spd` attempts a plain Cholesky factorization; if the matrix is not
+// numerically positive definite (which happens for barely-curved barrier
+// Hessians), it retries with increasing diagonal regularization — the
+// standard modified-Newton fallback.  The solver only needs descent
+// directions, so a regularized solve is acceptable.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace hydra::linalg {
+
+/// In-place Cholesky factorization result: L with A = L·Lᵀ (lower triangle).
+/// Returns std::nullopt if A is not numerically positive definite.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves L·Lᵀ x = b given the Cholesky factor L.
+Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+/// Solves A x = b for symmetric A, regularizing the diagonal if needed.
+/// Throws std::runtime_error if the system cannot be solved even with heavy
+/// regularization (indicates non-finite input).
+Vector solve_spd(const Matrix& a, const Vector& b);
+
+}  // namespace hydra::linalg

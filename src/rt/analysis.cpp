@@ -1,0 +1,123 @@
+#include "rt/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rt/priority.h"
+#include "util/contracts.h"
+
+namespace hydra::rt {
+
+double dbf(const RtTask& task, util::Millis t) {
+  if (t < task.deadline) return 0.0;
+  const double jobs = std::floor((t - task.deadline) / task.period) + 1.0;
+  return jobs * task.wcet;
+}
+
+bool dbf_necessary_condition(const std::vector<RtTask>& tasks, std::size_t num_cores,
+                             std::optional<util::Millis> horizon) {
+  HYDRA_REQUIRE(num_cores >= 1, "need at least one core");
+  if (tasks.empty()) return true;
+
+  const double m = static_cast<double>(num_cores);
+  // Asymptotic limit of Eq. (1): total utilization at most M.
+  if (total_utilization(tasks) > m + util::kTimeEpsilon) return false;
+
+  util::Millis h = 0.0;
+  if (horizon.has_value()) {
+    h = *horizon;
+  } else {
+    for (const auto& task : tasks) h = std::max(h, 2.0 * (task.deadline + task.period));
+  }
+
+  // Demand only changes at absolute deadline points, so those are the only
+  // t values worth checking.
+  std::vector<util::Millis> checkpoints;
+  for (const auto& task : tasks) {
+    for (util::Millis t = task.deadline; t <= h; t += task.period) checkpoints.push_back(t);
+  }
+  std::sort(checkpoints.begin(), checkpoints.end());
+  checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()), checkpoints.end());
+
+  for (const util::Millis t : checkpoints) {
+    double demand = 0.0;
+    for (const auto& task : tasks) demand += dbf(task, t);
+    if (demand > m * t + util::kTimeEpsilon) return false;
+  }
+  return true;
+}
+
+std::optional<util::Millis> response_time(const RtTask& task, const std::vector<RtTask>& hp,
+                                          util::Millis blocking) {
+  HYDRA_REQUIRE(blocking >= 0.0, "blocking must be non-negative");
+  double hp_util = 0.0;
+  for (const auto& h : hp) hp_util += h.utilization();
+  if (hp_util >= 1.0) return std::nullopt;
+
+  double r = task.wcet + blocking;
+  for (int iter = 0; iter < 10000; ++iter) {
+    double next = task.wcet + blocking;
+    for (const auto& h : hp) next += std::ceil(r / h.period - util::kTimeEpsilon) * h.wcet;
+    if (next > task.deadline + util::kTimeEpsilon) return std::nullopt;
+    if (util::approx_equal(next, r, util::kTimeEpsilon, 0.0)) return next;
+    r = next;
+  }
+  // Non-convergence with hp_util < 1 would indicate a numeric pathology;
+  // treat conservatively as unschedulable.
+  return std::nullopt;
+}
+
+bool core_schedulable_rm(const std::vector<RtTask>& tasks_on_core) {
+  return core_schedulable_rm_with_blocking(tasks_on_core, 0.0);
+}
+
+bool core_schedulable_rm_with_blocking(const std::vector<RtTask>& tasks_on_core,
+                                       util::Millis blocking) {
+  const auto order = rm_priority_order(tasks_on_core);
+  std::vector<RtTask> hp;
+  hp.reserve(tasks_on_core.size());
+  for (const std::size_t idx : order) {
+    if (!response_time(tasks_on_core[idx], hp, blocking).has_value()) return false;
+    hp.push_back(tasks_on_core[idx]);
+  }
+  return true;
+}
+
+double liu_layland_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+bool hyperbolic_bound_holds(const std::vector<RtTask>& tasks) {
+  double product = 1.0;
+  for (const auto& t : tasks) product *= t.utilization() + 1.0;
+  return product <= 2.0 + util::kTimeEpsilon;
+}
+
+std::optional<util::Millis> security_response_time(
+    const SecurityTask& task, util::Millis period, const std::vector<RtTask>& rt_on_core,
+    const std::vector<PlacedSecurityTask>& hp_security_on_core, util::Millis blocking) {
+  HYDRA_REQUIRE(period > 0.0, "candidate period must be positive");
+  double hp_util = 0.0;
+  for (const auto& r : rt_on_core) hp_util += r.utilization();
+  for (const auto& h : hp_security_on_core) hp_util += h.wcet / h.period;
+  if (hp_util >= 1.0) return std::nullopt;
+
+  double r = task.wcet + blocking;
+  for (int iter = 0; iter < 10000; ++iter) {
+    double next = task.wcet + blocking;
+    for (const auto& hp : rt_on_core) {
+      next += std::ceil(r / hp.period - util::kTimeEpsilon) * hp.wcet;
+    }
+    for (const auto& hp : hp_security_on_core) {
+      next += std::ceil(r / hp.period - util::kTimeEpsilon) * hp.wcet;
+    }
+    if (next > period + util::kTimeEpsilon) return std::nullopt;  // deadline = period
+    if (util::approx_equal(next, r, util::kTimeEpsilon, 0.0)) return next;
+    r = next;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hydra::rt

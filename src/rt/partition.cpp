@@ -1,0 +1,118 @@
+#include "rt/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rt/analysis.h"
+#include "util/contracts.h"
+
+namespace hydra::rt {
+
+std::vector<RtTask> Partition::tasks_on_core(const std::vector<RtTask>& tasks,
+                                             std::size_t core) const {
+  HYDRA_REQUIRE(tasks.size() == core_of.size(), "partition does not match task set");
+  HYDRA_REQUIRE(core < num_cores, "core index out of range");
+  std::vector<RtTask> out;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (core_of[i] == core) out.push_back(tasks[i]);
+  }
+  return out;
+}
+
+std::vector<double> Partition::core_utilizations(const std::vector<RtTask>& tasks) const {
+  HYDRA_REQUIRE(tasks.size() == core_of.size(), "partition does not match task set");
+  std::vector<double> u(num_cores, 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) u[core_of[i]] += tasks[i].utilization();
+  return u;
+}
+
+namespace {
+
+/// Feasibility of adding `candidate` to a core currently holding `resident`:
+/// the whole core must remain RM-schedulable by exact RTA.
+bool fits(const std::vector<RtTask>& resident, const RtTask& candidate) {
+  std::vector<RtTask> trial = resident;
+  trial.push_back(candidate);
+  return core_schedulable_rm(trial);
+}
+
+}  // namespace
+
+std::optional<Partition> partition_rt_tasks(const std::vector<RtTask>& tasks,
+                                            std::size_t num_cores,
+                                            const PartitionOptions& options) {
+  HYDRA_REQUIRE(num_cores >= 1, "need at least one core");
+  validate(tasks);
+
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.decreasing_utilization) {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return tasks[a].utilization() > tasks[b].utilization();
+    });
+  }
+
+  Partition partition;
+  partition.num_cores = num_cores;
+  partition.core_of.assign(tasks.size(), 0);
+
+  std::vector<std::vector<RtTask>> residents(num_cores);
+  std::vector<double> load(num_cores, 0.0);
+  std::size_t next_fit_cursor = 0;
+
+  for (const std::size_t ti : order) {
+    const RtTask& task = tasks[ti];
+    std::optional<std::size_t> chosen;
+
+    switch (options.strategy) {
+      case FitStrategy::kFirstFit: {
+        for (std::size_t c = 0; c < num_cores; ++c) {
+          if (fits(residents[c], task)) {
+            chosen = c;
+            break;
+          }
+        }
+        break;
+      }
+      case FitStrategy::kBestFit: {
+        double best_load = -1.0;
+        for (std::size_t c = 0; c < num_cores; ++c) {
+          if (fits(residents[c], task) && load[c] > best_load) {
+            best_load = load[c];
+            chosen = c;
+          }
+        }
+        break;
+      }
+      case FitStrategy::kWorstFit: {
+        double best_load = 2.0;  // any utilization is < 2
+        for (std::size_t c = 0; c < num_cores; ++c) {
+          if (fits(residents[c], task) && load[c] < best_load) {
+            best_load = load[c];
+            chosen = c;
+          }
+        }
+        break;
+      }
+      case FitStrategy::kNextFit: {
+        for (std::size_t probe = 0; probe < num_cores; ++probe) {
+          const std::size_t c = (next_fit_cursor + probe) % num_cores;
+          if (fits(residents[c], task)) {
+            chosen = c;
+            next_fit_cursor = c;
+            break;
+          }
+        }
+        break;
+      }
+    }
+
+    if (!chosen.has_value()) return std::nullopt;
+    residents[*chosen].push_back(task);
+    load[*chosen] += task.utilization();
+    partition.core_of[ti] = *chosen;
+  }
+  return partition;
+}
+
+}  // namespace hydra::rt

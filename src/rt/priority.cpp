@@ -1,0 +1,57 @@
+#include "rt/priority.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace hydra::rt {
+
+std::vector<std::size_t> rm_priority_order(const std::vector<RtTask>& tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].period < tasks[b].period;
+  });
+  return order;
+}
+
+std::vector<std::size_t> security_priority_order(const std::vector<SecurityTask>& tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].period_max < tasks[b].period_max;
+  });
+  return order;
+}
+
+std::vector<std::size_t> rank_of(const std::vector<std::size_t>& order) {
+  std::vector<std::size_t> rank(order.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+  return rank;
+}
+
+std::vector<std::size_t> resolve_security_order(
+    const std::vector<SecurityTask>& tasks,
+    const std::optional<std::vector<std::size_t>>& override_order) {
+  if (!override_order.has_value()) return security_priority_order(tasks);
+  HYDRA_REQUIRE(override_order->size() == tasks.size(),
+                "priority order must cover every security task");
+  std::vector<bool> seen(tasks.size(), false);
+  for (const std::size_t i : *override_order) {
+    HYDRA_REQUIRE(i < tasks.size() && !seen[i], "priority order must be a permutation");
+    seen[i] = true;
+  }
+  return *override_order;
+}
+
+std::vector<double> priority_weights(const std::vector<SecurityTask>& tasks) {
+  const auto rank = rank_of(security_priority_order(tasks));
+  std::vector<double> w(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    w[i] = static_cast<double>(tasks.size() - rank[i]);
+  }
+  return w;
+}
+
+}  // namespace hydra::rt

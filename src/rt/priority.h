@@ -1,0 +1,44 @@
+// Priority assignment (paper §II).
+//
+// RT tasks get distinct rate-monotonic priorities (shorter period = higher
+// priority).  Security tasks are prioritized by ascending Tmax — paper §II-C:
+// pri(τs1) > pri(τs2) iff Tmax_s1 < Tmax_s2 — and *every* security task sits
+// strictly below every RT task on its core.  Ties are broken by index so that
+// priority order is total and deterministic.
+//
+// Orders are represented as index permutations: order[0] is the index (into
+// the original vector) of the highest-priority task.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "rt/task.h"
+
+namespace hydra::rt {
+
+/// Rate-monotonic order for RT tasks: ascending period, ties by index.
+std::vector<std::size_t> rm_priority_order(const std::vector<RtTask>& tasks);
+
+/// Security-task order: ascending Tmax, ties by index (paper §II-C).
+std::vector<std::size_t> security_priority_order(const std::vector<SecurityTask>& tasks);
+
+/// Rank of each task in a priority order: rank_of[i] = position of task i
+/// (0 = highest priority).  Inverse permutation of the order.
+std::vector<std::size_t> rank_of(const std::vector<std::size_t>& order);
+
+/// Default weights ωs from the priority order: the highest-priority security
+/// task receives weight n, the next n−1, … (paper: "higher priority tasks
+/// would have large ωs").
+std::vector<double> priority_weights(const std::vector<SecurityTask>& tasks);
+
+/// Resolves the security priority order used by allocators, the validator and
+/// the simulator: `override` (validated to be a permutation of 0..n−1) when
+/// present — e.g. a sec::chain_consistent_order — else the paper's
+/// ascending-Tmax order.
+std::vector<std::size_t> resolve_security_order(
+    const std::vector<SecurityTask>& tasks,
+    const std::optional<std::vector<std::size_t>>& override_order);
+
+}  // namespace hydra::rt

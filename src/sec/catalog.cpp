@@ -1,0 +1,97 @@
+#include "sec/catalog.h"
+
+#include "rt/priority.h"
+#include "util/contracts.h"
+
+namespace hydra::sec {
+
+std::vector<CatalogEntry> tripwire_bro_catalog() {
+  // WCETs: representative hash-scan costs (see header note).  Tdes/Tmax follow
+  // §IV-B conventions: Tdes ∈ [1000, 3000] ms, Tmax = 10·Tdes.  Order is by
+  // ascending Tmax, i.e. catalog index == priority rank.
+  // WCETs are heavyweight on purpose: directory-tree hash scans on an
+  // embedded board take hundreds of ms to seconds, so the six monitors
+  // together demand ≈ 1.6 cores at their desired rates.  That contention is
+  // what differentiates the allocation schemes (a dedicated core saturates;
+  // HYDRA can spread the load) — with toy WCETs every scheme trivially
+  // achieves η = 1 and Fig. 1/2 would be flat.
+  std::vector<CatalogEntry> catalog;
+  catalog.push_back({rt::make_security_task("tw_check_own_binary", 300.0, 1000.0, 10000.0),
+                     SecurityApp::kTripwire,
+                     "Compare the hash value of the security application binary"});
+  catalog.push_back({rt::make_security_task("tw_check_executables", 600.0, 1500.0, 15000.0),
+                     SecurityApp::kTripwire, "Check hash of the file-system binaries (/bin, /sbin)"});
+  catalog.push_back({rt::make_security_task("tw_check_libraries", 500.0, 1800.0, 18000.0),
+                     SecurityApp::kTripwire, "Check library hashes (/lib)"});
+  catalog.push_back({rt::make_security_task("tw_check_dev_kernel", 450.0, 2200.0, 22000.0),
+                     SecurityApp::kTripwire,
+                     "Check hash of peripherals and kernel information in /dev and /proc"});
+  catalog.push_back({rt::make_security_task("tw_check_config", 400.0, 2500.0, 25000.0),
+                     SecurityApp::kTripwire, "Check configuration hashes (/etc)"});
+  catalog.push_back({rt::make_security_task("bro_monitor_network", 900.0, 3000.0, 30000.0),
+                     SecurityApp::kBro, "Scan network interface (e.g., en0)"});
+  for (const auto& entry : catalog) rt::validate(entry.task);
+  return catalog;
+}
+
+std::vector<rt::SecurityTask> tripwire_bro_tasks() {
+  std::vector<rt::SecurityTask> tasks;
+  for (auto& entry : tripwire_bro_catalog()) tasks.push_back(entry.task);
+  return tasks;
+}
+
+std::vector<Chain> default_chains() {
+  // Tripwire self-check (index 0) precedes the system-binary check (index 1).
+  return {Chain{{0, 1}}};
+}
+
+std::vector<std::size_t> chain_consistent_order(const std::vector<rt::SecurityTask>& tasks,
+                                                const std::vector<Chain>& chains) {
+  const std::size_t n = tasks.size();
+  // Chain edges pred → succ; indegree-based Kahn sort picking, at every step,
+  // the ready task that comes first in the Tmax base order (stable).
+  std::vector<std::vector<std::size_t>> succs(n);
+  std::vector<std::size_t> indegree(n, 0);
+  for (const auto& chain : chains) {
+    for (std::size_t i = 0; i + 1 < chain.members.size(); ++i) {
+      const std::size_t pred = chain.members[i];
+      const std::size_t succ = chain.members[i + 1];
+      HYDRA_REQUIRE(pred < n && succ < n, "chain member index out of range");
+      succs[pred].push_back(succ);
+      ++indegree[succ];
+    }
+  }
+
+  const auto base = rt::security_priority_order(tasks);
+  const auto base_rank = rt::rank_of(base);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> emitted(n, false);
+  for (std::size_t step = 0; step < n; ++step) {
+    // Ready task with the smallest base rank.
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (emitted[i] || indegree[i] != 0) continue;
+      if (best == n || base_rank[i] < base_rank[best]) best = i;
+    }
+    HYDRA_REQUIRE(best != n, "precedence chains contain a cycle");
+    emitted[best] = true;
+    order.push_back(best);
+    for (const std::size_t s : succs[best]) --indegree[s];
+  }
+  return order;
+}
+
+bool respects_chains(const std::vector<Chain>& chains, const std::vector<std::size_t>& rank) {
+  for (const auto& chain : chains) {
+    for (std::size_t i = 0; i + 1 < chain.members.size(); ++i) {
+      const std::size_t pred = chain.members[i];
+      const std::size_t succ = chain.members[i + 1];
+      HYDRA_REQUIRE(pred < rank.size() && succ < rank.size(), "chain member index out of range");
+      if (!(rank[pred] < rank[succ])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hydra::sec

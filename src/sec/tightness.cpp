@@ -1,0 +1,36 @@
+#include "sec/tightness.h"
+
+#include "util/contracts.h"
+
+namespace hydra::sec {
+
+double tightness(const rt::SecurityTask& task, util::Millis period) {
+  HYDRA_REQUIRE(period > 0.0, "period must be positive");
+  HYDRA_REQUIRE(util::leq_tol(task.period_des, period) && util::leq_tol(period, task.period_max),
+                "period outside [Tdes, Tmax] for task '" + task.name + "'");
+  return task.period_des / period;
+}
+
+double cumulative_tightness(const std::vector<rt::SecurityTask>& tasks,
+                            const std::vector<util::Millis>& periods) {
+  HYDRA_REQUIRE(tasks.size() == periods.size(), "tasks/periods size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    acc += tasks[i].weight * tightness(tasks[i], periods[i]);
+  }
+  return acc;
+}
+
+double max_cumulative_tightness(const std::vector<rt::SecurityTask>& tasks) {
+  double acc = 0.0;
+  for (const auto& t : tasks) acc += t.weight;
+  return acc;
+}
+
+double min_cumulative_tightness(const std::vector<rt::SecurityTask>& tasks) {
+  double acc = 0.0;
+  for (const auto& t : tasks) acc += t.weight * t.min_tightness();
+  return acc;
+}
+
+}  // namespace hydra::sec

@@ -1,0 +1,27 @@
+// The paper's security quality metric (Eq. 2): tightness ηs = Tdes_s / Ts,
+// bounded by Tdes/Tmax ≤ ηs ≤ 1, and the weighted cumulative tightness the
+// allocators maximize (Eq. 3).
+#pragma once
+
+#include <vector>
+
+#include "rt/task.h"
+#include "util/units.h"
+
+namespace hydra::sec {
+
+/// ηs for one task at an assigned period.  Requires period ∈ [Tdes, Tmax]
+/// (within tolerance); callers should clamp/validate before reporting.
+double tightness(const rt::SecurityTask& task, util::Millis period);
+
+/// Σs ωs·ηs over parallel arrays of tasks and assigned periods.
+double cumulative_tightness(const std::vector<rt::SecurityTask>& tasks,
+                            const std::vector<util::Millis>& periods);
+
+/// Upper bound of Eq. (3): every task at its desired period (η = 1).
+double max_cumulative_tightness(const std::vector<rt::SecurityTask>& tasks);
+
+/// Lower bound: every task at Tmax.
+double min_cumulative_tightness(const std::vector<rt::SecurityTask>& tasks);
+
+}  // namespace hydra::sec

@@ -1,0 +1,147 @@
+#include "sim/attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rt/priority.h"
+#include "sim/engine.h"
+#include "sim/global_slack.h"
+#include "util/contracts.h"
+
+namespace hydra::sim {
+
+std::vector<SimTask> build_sim_tasks(
+    const core::Instance& instance, const core::Allocation& allocation,
+    bool security_preemptive,
+    const std::optional<std::vector<std::size_t>>& security_priority_order) {
+  HYDRA_REQUIRE(allocation.feasible, "allocation must be feasible to simulate");
+  instance.validate();
+
+  std::vector<SimTask> tasks;
+  tasks.reserve(instance.rt_tasks.size() + instance.security_tasks.size());
+
+  // RT tasks: rate-monotonic priorities 0..NR−1 (distinct via rank).
+  const auto rt_rank = rt::rank_of(rt::rm_priority_order(instance.rt_tasks));
+  for (std::size_t i = 0; i < instance.rt_tasks.size(); ++i) {
+    const auto& t = instance.rt_tasks[i];
+    SimTask st;
+    st.name = t.name;
+    st.wcet = util::to_ticks(t.wcet);
+    st.period = util::to_ticks(t.period);
+    st.deadline = util::to_ticks(t.deadline);
+    st.core = allocation.rt_partition.core_of[i];
+    st.priority = static_cast<int>(rt_rank[i]);
+    tasks.push_back(std::move(st));
+  }
+
+  // Security tasks: strictly below every RT task, ordered by ascending Tmax
+  // (or the caller's chain-consistent override).
+  const int security_base = static_cast<int>(instance.rt_tasks.size());
+  const auto sec_rank = rt::rank_of(
+      rt::resolve_security_order(instance.security_tasks, security_priority_order));
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    const auto& t = instance.security_tasks[s];
+    const auto& place = allocation.placements[s];
+    SimTask st;
+    st.name = t.name;
+    st.wcet = util::to_ticks(t.wcet);
+    // Round the assigned period *up* to a whole tick: a longer period only
+    // reduces demand, so analysis feasibility is preserved.
+    st.period = std::max<util::SimTime>(util::to_ticks(place.period), st.wcet);
+    st.deadline = st.period;
+    st.core = place.core;
+    st.priority = security_base + static_cast<int>(sec_rank[s]);
+    st.preemptive = security_preemptive;
+    tasks.push_back(std::move(st));
+  }
+  return tasks;
+}
+
+namespace {
+
+/// Shared attack-sampling pass over a completed trace.  `tasks` is the
+/// simulator task list (RT first, then security) used to size the attack
+/// window.
+DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& tasks,
+                               std::size_t nr, std::size_t ns, const DetectionConfig& config) {
+  HYDRA_REQUIRE(config.trials > 0, "need at least one trial");
+  HYDRA_REQUIRE(ns > 0, "detection experiment needs at least one security task");
+
+  DetectionResult result;
+  result.deadline_misses = trace.deadline_misses();
+
+  util::Xoshiro256 rng(config.seed);
+  // Leave the tail of the horizon for detection to complete; the slowest
+  // monitor needs up to ~2 periods.
+  util::SimTime latest_attack = config.horizon;
+  for (std::size_t s = 0; s < ns; ++s) {
+    const util::SimTime span = 3 * tasks[nr + s].period;
+    latest_attack = std::min(latest_attack,
+                             config.horizon > span ? config.horizon - span : util::SimTime{0});
+  }
+  HYDRA_REQUIRE(latest_attack > 0, "horizon too short for the security periods");
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const util::SimTime attack_at =
+        rng.uniform_int(0, latest_attack - 1);
+
+    std::optional<util::SimTime> detected_at;
+    bool undetected = false;
+    if (config.scope == AttackScope::kSingleTask) {
+      const std::size_t victim = static_cast<std::size_t>(rng.uniform_int(0, ns - 1));
+      detected_at = trace.first_completion_released_after(nr + victim, attack_at);
+      undetected = !detected_at.has_value();
+    } else {
+      // Worst case over all monitors: the last fresh scan to complete.
+      util::SimTime worst = 0;
+      for (std::size_t s = 0; s < ns && !undetected; ++s) {
+        const auto done = trace.first_completion_released_after(nr + s, attack_at);
+        if (!done.has_value()) {
+          undetected = true;
+        } else {
+          worst = std::max(worst, *done);
+        }
+      }
+      if (!undetected) detected_at = worst;
+    }
+
+    if (undetected || !detected_at.has_value()) {
+      ++result.undetected;
+    } else {
+      result.detection_ms.push_back(util::to_millis(*detected_at - attack_at));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+DetectionResult measure_detection_times(const core::Instance& instance,
+                                        const core::Allocation& allocation,
+                                        const DetectionConfig& config) {
+  const std::vector<SimTask> tasks = build_sim_tasks(instance, allocation);
+  SimOptions sim_options;
+  sim_options.horizon = config.horizon;
+  const Trace trace = simulate(tasks, sim_options);
+  return sample_attacks(trace, tasks, instance.rt_tasks.size(),
+                        instance.security_tasks.size(), config);
+}
+
+DetectionResult measure_detection_times_global(const core::Instance& instance,
+                                               const core::Allocation& allocation,
+                                               const DetectionConfig& config) {
+  const std::vector<SimTask> tasks = build_sim_tasks(instance, allocation);
+  std::vector<GlobalSimTask> global_tasks;
+  global_tasks.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    global_tasks.push_back(GlobalSimTask{tasks[i], /*global_band=*/i >= instance.rt_tasks.size()});
+  }
+  GlobalSimOptions sim_options;
+  sim_options.horizon = config.horizon;
+  sim_options.num_cores = instance.num_cores;
+  const Trace trace = simulate_global_slack(global_tasks, sim_options);
+  return sample_attacks(trace, tasks, instance.rt_tasks.size(),
+                        instance.security_tasks.size(), config);
+}
+
+}  // namespace hydra::sim

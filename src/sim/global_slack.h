@@ -1,0 +1,42 @@
+// Global slack scheduling of security jobs (paper §V: "security tasks can
+// also move across multiple cores if there is available slack at runtime (for
+// faster detection and better schedulability)").
+//
+// Model: RT tasks stay partitioned and always own their core at their RM
+// priority.  Security jobs live in one *global* ready queue ordered by
+// security priority; at every scheduling point each core that has no pending
+// RT work picks the highest-priority unserved security job.  Security jobs
+// may migrate between cores at preemption points (job-level migration, no
+// migration cost — the optimistic end of the design space; the bench
+// quantifies the gap to HYDRA's static placement).
+//
+// Unlike the partitioned engine (sim/engine.h) this cannot simulate cores
+// independently: a single global timeline drives all cores.
+#pragma once
+
+#include <vector>
+
+#include "sim/task.h"
+
+namespace hydra::sim {
+
+/// Inputs mirror build_sim_tasks' output: `tasks[i].core` is honoured for RT
+/// tasks; for tasks flagged `global_band` the core field is ignored.
+struct GlobalSimTask {
+  SimTask task;
+  bool global_band = false;  ///< true: security job, may run on any core
+};
+
+struct GlobalSimOptions {
+  util::SimTime horizon = 0;
+  util::SimTime grace = 0;  ///< 0 = auto (largest deadline)
+  std::size_t num_cores = 0;
+};
+
+/// Runs the global-slack schedule.  RT (non-global) tasks must carry distinct
+/// priorities per core; global tasks must carry distinct priorities among
+/// themselves.  Returns the same Trace shape as the partitioned engine.
+Trace simulate_global_slack(const std::vector<GlobalSimTask>& tasks,
+                            const GlobalSimOptions& options);
+
+}  // namespace hydra::sim

@@ -1,0 +1,35 @@
+// Human-readable schedule inspection: ASCII Gantt charts and CSV export of
+// recorded execution segments.  Requires a trace captured with
+// SimOptions::record_segments = true.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace hydra::sim {
+
+struct GanttOptions {
+  util::SimTime from = 0;   ///< window start
+  util::SimTime to = 0;     ///< window end (0 = trace horizon)
+  std::size_t width = 100;  ///< characters per core row
+};
+
+/// Renders one row per core over [from, to): each column is a time bucket
+/// showing the letter of the task that ran longest within it ('.' = idle,
+/// lowercase a.. for the first 26 tasks, '?' beyond).  A legend line maps
+/// letters to task names.
+std::string render_gantt(const Trace& trace, const std::vector<SimTask>& tasks,
+                         const GanttOptions& options = {});
+
+/// Writes segments as CSV: task,name,core,from_us,to_us.
+void write_segments_csv(const Trace& trace, const std::vector<SimTask>& tasks,
+                        std::ostream& os);
+
+/// Writes per-job records as CSV: task,name,job,release_us,start_us,
+/// completion_us,completed,deadline_missed.
+void write_jobs_csv(const Trace& trace, const std::vector<SimTask>& tasks, std::ostream& os);
+
+}  // namespace hydra::sim

@@ -1,0 +1,82 @@
+// Runtime task descriptors and per-job records for the discrete-event
+// simulator.  The simulator replaces the paper's ARM Cortex-A8 + Xenomai
+// testbed (DESIGN.md §6): it executes a partitioned fixed-priority
+// preemptive schedule at microsecond resolution.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace hydra::sim {
+
+/// A task as the simulator sees it: fully resolved (period fixed, core
+/// fixed, distinct priority).  With `release_jitter == 0` releases are
+/// strictly periodic from `release_offset` — the worst-case arrival pattern
+/// of a sporadic task; with jitter, each inter-arrival gap is
+/// period + U(0, jitter], preserving the sporadic minimum separation.
+struct SimTask {
+  std::string name;
+  util::SimTime wcet = 0;            ///< execution budget per job (ticks)
+  util::SimTime period = 0;          ///< minimum inter-release separation (ticks)
+  util::SimTime deadline = 0;        ///< relative deadline (ticks)
+  std::size_t core = 0;              ///< partitioned: fixed core
+  int priority = 0;                  ///< smaller value = higher priority
+  bool preemptive = true;            ///< false: job runs to completion once started
+  util::SimTime release_offset = 0;  ///< first release time
+  util::SimTime release_jitter = 0;  ///< extra random gap per release (sporadic)
+  /// Each job executes wcet·U(exec_fraction_min, 1] — models actual execution
+  /// times below the worst case.  1.0 = always the WCET (analysis-faithful).
+  double exec_fraction_min = 1.0;
+};
+
+/// What happened to one job.
+struct JobRecord {
+  util::SimTime release = 0;
+  util::SimTime start = 0;       ///< first time the job got the CPU
+  util::SimTime completion = 0;  ///< valid iff completed
+  bool completed = false;
+  bool deadline_missed = false;  ///< completed after release + deadline (or never)
+};
+
+/// A contiguous stretch of execution of one job on one core.
+struct ExecutionSegment {
+  std::size_t task = 0;
+  std::size_t core = 0;
+  util::SimTime from = 0;
+  util::SimTime to = 0;
+};
+
+/// Per-task job history plus core-level accounting.
+struct Trace {
+  std::vector<std::vector<JobRecord>> jobs;  ///< jobs[task_index], release order
+  std::vector<util::SimTime> core_busy;      ///< busy ticks per core
+  util::SimTime horizon = 0;
+  /// Cross-core job resumptions; only the global-slack engine migrates, the
+  /// partitioned engine always reports 0.
+  std::size_t migrations = 0;
+  /// Execution intervals in chronological order per core; filled only when
+  /// the engine is asked to record them (SimOptions::record_segments).
+  std::vector<ExecutionSegment> segments;
+
+  std::size_t total_jobs() const;
+  std::size_t deadline_misses() const;
+
+  /// Completion time of the first job of `task` released at or after `t`;
+  /// nullopt if no such job completed within the trace.
+  std::optional<util::SimTime> first_completion_released_after(std::size_t task,
+                                                              util::SimTime t) const;
+
+  /// Observed response times (completion − release) of `task`'s completed
+  /// jobs, in milliseconds.  The empirical counterpart of response-time
+  /// analysis: observed max ≤ analytic bound on any feasible system.
+  std::vector<double> response_times_ms(std::size_t task) const;
+
+  /// Largest observed response time of `task`; nullopt if no job completed.
+  std::optional<double> max_response_time_ms(std::size_t task) const;
+};
+
+}  // namespace hydra::sim

@@ -1,0 +1,49 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace hydra::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  HYDRA_REQUIRE(!sorted_.empty(), "empirical CDF needs at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  HYDRA_REQUIRE(p > 0.0 && p <= 1.0, "quantile level must be in (0, 1]");
+  const auto n = static_cast<double>(sorted_.size());
+  // k = ceil(p·n), clamped to [1, n]; the quantile is the k-th order statistic.
+  std::size_t k = static_cast<std::size_t>(p * n);
+  if (static_cast<double>(k) < p * n) ++k;
+  if (k == 0) k = 1;
+  if (k > sorted_.size()) k = sorted_.size();
+  return sorted_[k - 1];
+}
+
+double EmpiricalCdf::mean() const {
+  return std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::series(double hi,
+                                                            std::size_t points) const {
+  HYDRA_REQUIRE(points >= 2, "series needs at least two points");
+  HYDRA_REQUIRE(hi > 0.0, "series upper bound must be positive");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = hi * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, (*this)(x));
+  }
+  return out;
+}
+
+}  // namespace hydra::stats

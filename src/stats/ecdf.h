@@ -1,0 +1,39 @@
+// Empirical CDF exactly as defined under the paper's Fig. 1:
+//
+//     F̂_α(ε) = (1/α) Σ_{i=1..α} 1[ζ_i ≤ ε]
+//
+// where ζ_i are the observed detection times and α the number of
+// observations.
+#pragma once
+
+#include <vector>
+
+namespace hydra::stats {
+
+class EmpiricalCdf {
+ public:
+  /// Builds from samples (copied and sorted).  Throws on empty input.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F̂(x): fraction of samples ≤ x.
+  double operator()(double x) const;
+
+  /// Smallest sample z with F̂(z) ≥ p, p ∈ (0, 1]; the empirical quantile.
+  double quantile(double p) const;
+
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+  double mean() const;
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Evaluates the CDF on an evenly spaced grid of `points` values over
+  /// [0, hi]; convenient for printing figure series.
+  std::vector<std::pair<double, double>> series(double hi, std::size_t points) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace hydra::stats

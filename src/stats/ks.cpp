@@ -1,0 +1,41 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hydra::stats {
+
+namespace {
+
+/// Merged, deduplicated jump points of both CDFs.
+std::vector<double> jump_points(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  std::vector<double> xs;
+  xs.reserve(a.size() + b.size());
+  xs.insert(xs.end(), a.sorted_samples().begin(), a.sorted_samples().end());
+  xs.insert(xs.end(), b.sorted_samples().begin(), b.sorted_samples().end());
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+}  // namespace
+
+double ks_statistic(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  double sup = 0.0;
+  for (const double x : jump_points(a, b)) sup = std::fmax(sup, std::fabs(a(x) - b(x)));
+  return sup;
+}
+
+double ks_statistic_one_sided(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  double sup = 0.0;  // the difference is 0 at ±inf, so 0 is a valid floor
+  for (const double x : jump_points(a, b)) sup = std::fmax(sup, a(x) - b(x));
+  return sup;
+}
+
+bool dominates(const EmpiricalCdf& a, const EmpiricalCdf& b, double slack) {
+  // a dominates b iff b never gets above a by more than slack.
+  return ks_statistic_one_sided(b, a) <= slack;
+}
+
+}  // namespace hydra::stats

@@ -1,0 +1,23 @@
+// Two-sample Kolmogorov–Smirnov machinery: quantifies how far apart two
+// empirical CDFs are (used to report the HYDRA-vs-SingleCore separation in
+// Fig. 1 as a number rather than eyeballed curves) and whether one curve
+// stochastically dominates the other.
+#pragma once
+
+#include "stats/ecdf.h"
+
+namespace hydra::stats {
+
+/// sup_x |F_a(x) − F_b(x)| evaluated exactly (at the jump points of both
+/// CDFs, where the supremum of step functions is attained).
+double ks_statistic(const EmpiricalCdf& a, const EmpiricalCdf& b);
+
+/// Signed one-sided variants: sup_x (F_a(x) − F_b(x)) — how far a gets above b.
+double ks_statistic_one_sided(const EmpiricalCdf& a, const EmpiricalCdf& b);
+
+/// True iff F_a(x) ≥ F_b(x) − slack for all x: a (weakly) stochastically
+/// dominates b, i.e. a's samples are distributionally smaller.  `slack`
+/// absorbs sampling noise.
+bool dominates(const EmpiricalCdf& a, const EmpiricalCdf& b, double slack = 0.0);
+
+}  // namespace hydra::stats

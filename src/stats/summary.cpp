@@ -1,0 +1,61 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace hydra::stats {
+
+Summary summarize(const std::vector<double>& samples) {
+  HYDRA_REQUIRE(!samples.empty(), "summarize needs at least one sample");
+  Summary s;
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.front();
+  double sum = 0.0;
+  for (const double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (const double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+MeanCi mean_ci95(const std::vector<double>& samples) {
+  const Summary s = summarize(samples);
+  MeanCi ci;
+  ci.mean = s.mean;
+  if (s.count < 2) {
+    ci.lo = ci.hi = s.mean;
+    return ci;
+  }
+  // Sample (n−1) standard deviation from the population value.
+  const double n = static_cast<double>(s.count);
+  const double sample_sd = s.stddev * std::sqrt(n / (n - 1.0));
+  const double half = 1.96 * sample_sd / std::sqrt(n);
+  ci.lo = s.mean - half;
+  ci.hi = s.mean + half;
+  return ci;
+}
+
+double improvement_percent(double ours, double baseline) {
+  if (baseline == 0.0) return ours == 0.0 ? 0.0 : 100.0;
+  return (ours - baseline) / baseline * 100.0;
+}
+
+double gap_percent(double reference, double approx) {
+  if (reference == 0.0) return 0.0;
+  return (reference - approx) / reference * 100.0;
+}
+
+double acceptance_improvement_percent(double hydra_ratio, double single_core_ratio) {
+  if (hydra_ratio == 0.0) return 0.0;
+  return (hydra_ratio - single_core_ratio) / hydra_ratio * 100.0;
+}
+
+}  // namespace hydra::stats

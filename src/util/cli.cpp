@@ -1,0 +1,98 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+#include "util/contracts.h"
+
+namespace hydra::util {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  HYDRA_REQUIRE(argc >= 1 && argv != nullptr, "argv must contain at least the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form: consume the next token as value unless it is
+    // itself an option or absent, in which case treat as a boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliParser::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CliParser::get_string(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + it->second +
+                                "'");
+  }
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("option --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::int64_t> CliParser::get_int_list(const std::string& name,
+                                                  std::vector<std::int64_t> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  const std::string& v = it->second;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const auto comma = v.find(',', pos);
+    const std::string tok =
+        comma == std::string::npos ? v.substr(pos) : v.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      try {
+        out.push_back(std::stoll(tok));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("option --" + name + " expects integers, got '" + tok + "'");
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("option --" + name + " expects a non-empty integer list");
+  }
+  return out;
+}
+
+}  // namespace hydra::util

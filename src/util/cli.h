@@ -1,0 +1,40 @@
+// Minimal command-line option parser shared by benches and examples.
+//
+// Supports `--name value` and `--name=value` long options plus `--flag`
+// booleans.  Unknown options are an error so typos in experiment sweeps fail
+// loudly instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hydra::util {
+
+class CliParser {
+ public:
+  /// Parses argv.  Throws std::invalid_argument on malformed input.
+  CliParser(int argc, const char* const* argv);
+
+  /// True if --name was given (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. --cores 2,4,8.
+  std::vector<std::int64_t> get_int_list(const std::string& name,
+                                         std::vector<std::int64_t> fallback) const;
+
+  /// Name of the executable (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hydra::util

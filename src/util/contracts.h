@@ -1,0 +1,46 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// HYDRA_REQUIRE  — precondition on arguments supplied by the caller; violations
+//                  throw std::invalid_argument so library misuse is reported
+//                  with a message instead of undefined behaviour.
+// HYDRA_ASSERT   — internal invariant; violations indicate a bug in this
+//                  library and throw std::logic_error.
+//
+// Both are always on: this is an analysis/design-space-exploration library,
+// not a hot inner loop, and silent wrong answers are worse than the cost of a
+// branch.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hydra::util {
+
+[[noreturn]] inline void contract_failure_require(const char* expr, const char* file, int line,
+                                                  const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition violated: (") + expr + ") at " + file +
+                              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+
+[[noreturn]] inline void contract_failure_assert(const char* expr, const char* file, int line,
+                                                 const std::string& msg) {
+  throw std::logic_error(std::string("internal invariant violated: (") + expr + ") at " + file +
+                         ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace hydra::util
+
+#define HYDRA_REQUIRE(expr, msg)                                                  \
+  do {                                                                            \
+    if (!(expr)) {                                                                \
+      ::hydra::util::contract_failure_require(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                             \
+  } while (false)
+
+#define HYDRA_ASSERT(expr, msg)                                                  \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::hydra::util::contract_failure_assert(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                            \
+  } while (false)

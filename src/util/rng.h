@@ -1,0 +1,85 @@
+// Deterministic random-number generation for reproducible experiments.
+//
+// xoshiro256** (Blackman & Vigna) seeded via splitmix64, plus the uniform
+// helpers the workload generators need.  Satisfies UniformRandomBitGenerator
+// so it composes with <random> distributions, but the helpers here avoid
+// libstdc++-version-dependent distribution behaviour: given a seed, every
+// platform produces the same streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/contracts.h"
+
+namespace hydra::util {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initializes the state from a single 64-bit seed via splitmix64, per
+  /// the generator authors' recommendation.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).  Requires lo < hi.
+  double uniform(double lo, double hi) {
+    HYDRA_REQUIRE(lo < hi, "uniform: empty range");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi] via rejection sampling
+  /// (unbiased).  Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    HYDRA_REQUIRE(lo <= hi, "uniform_int: empty range");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return (*this)();  // full 64-bit range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + draw % span;
+  }
+
+  /// Derives an independent child generator; used to give each experiment
+  /// trial its own stream so trials are order-independent.
+  Xoshiro256 fork() { return Xoshiro256((*this)() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hydra::util

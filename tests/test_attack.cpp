@@ -1,0 +1,145 @@
+// Tests for attack injection and detection-time measurement (the Fig. 1
+// machinery): sim-task construction, detection bounds, and scheme comparison.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hydra.h"
+#include "core/single_core.h"
+#include "gen/uav.h"
+#include "sim/attack.h"
+#include "stats/summary.h"
+
+namespace core = hydra::core;
+namespace sim = hydra::sim;
+namespace rt = hydra::rt;
+
+namespace {
+
+sim::DetectionConfig quick_config() {
+  sim::DetectionConfig c;
+  c.horizon = 200u * 1000u * hydra::util::kTicksPerMilli;  // 200 s
+  c.trials = 100;
+  c.seed = 9;
+  return c;
+}
+
+}  // namespace
+
+TEST(BuildSimTasks, ShapesAndPriorities) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  const auto allocation = core::HydraAllocator().allocate(inst);
+  ASSERT_TRUE(allocation.feasible);
+  const auto tasks = sim::build_sim_tasks(inst, allocation);
+  ASSERT_EQ(tasks.size(), inst.rt_tasks.size() + inst.security_tasks.size());
+
+  // Every security task's priority is below (greater than) every RT task's.
+  int max_rt = -1, min_sec = 1 << 20;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i < inst.rt_tasks.size()) {
+      max_rt = std::max(max_rt, tasks[i].priority);
+    } else {
+      min_sec = std::min(min_sec, tasks[i].priority);
+    }
+  }
+  EXPECT_LT(max_rt, min_sec);
+
+  // Security periods match the allocation (rounded to ticks).
+  for (std::size_t s = 0; s < inst.security_tasks.size(); ++s) {
+    const auto& st = tasks[inst.rt_tasks.size() + s];
+    EXPECT_EQ(st.core, allocation.placements[s].core);
+    EXPECT_NEAR(hydra::util::to_millis(st.period), allocation.placements[s].period, 0.001);
+    EXPECT_EQ(st.deadline, st.period);  // implicit deadline
+  }
+}
+
+TEST(BuildSimTasks, InfeasibleAllocationRejected) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  core::Allocation bogus;
+  bogus.feasible = false;
+  EXPECT_THROW(sim::build_sim_tasks(inst, bogus), std::invalid_argument);
+}
+
+TEST(Detection, FeasibleAllocationHasNoDeadlineMisses) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  const auto allocation = core::HydraAllocator().allocate(inst);
+  ASSERT_TRUE(allocation.feasible);
+  const auto result = sim::measure_detection_times(inst, allocation, quick_config());
+  EXPECT_EQ(result.deadline_misses, 0u);
+}
+
+TEST(Detection, SamplesArePositiveAndBounded) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  const auto allocation = core::HydraAllocator().allocate(inst);
+  ASSERT_TRUE(allocation.feasible);
+  const auto result = sim::measure_detection_times(inst, allocation, quick_config());
+  ASSERT_GT(result.detection_ms.size(), 0u);
+
+  // Worst-case detection is bounded by 2·max period (one full period missed
+  // plus the next scan's response, which is at most its period).
+  double max_period = 0.0;
+  for (const auto& p : allocation.placements) max_period = std::max(max_period, p.period);
+  for (const double d : result.detection_ms) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 2.0 * max_period + 1.0);
+  }
+}
+
+TEST(Detection, SingleTaskScopeFasterThanAllTasks) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  const auto allocation = core::HydraAllocator().allocate(inst);
+  ASSERT_TRUE(allocation.feasible);
+  auto config = quick_config();
+  config.scope = sim::AttackScope::kSingleTask;
+  const auto single = sim::measure_detection_times(inst, allocation, config);
+  config.scope = sim::AttackScope::kAllTasks;
+  const auto all = sim::measure_detection_times(inst, allocation, config);
+  ASSERT_GT(single.detection_ms.size(), 0u);
+  ASSERT_GT(all.detection_ms.size(), 0u);
+  // Worst-case (all) detection stochastically dominates single-surface.
+  EXPECT_LE(hydra::stats::summarize(single.detection_ms).mean,
+            hydra::stats::summarize(all.detection_ms).mean);
+}
+
+TEST(Detection, DeterministicGivenSeed) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  const auto allocation = core::HydraAllocator().allocate(inst);
+  ASSERT_TRUE(allocation.feasible);
+  const auto r1 = sim::measure_detection_times(inst, allocation, quick_config());
+  const auto r2 = sim::measure_detection_times(inst, allocation, quick_config());
+  ASSERT_EQ(r1.detection_ms.size(), r2.detection_ms.size());
+  for (std::size_t i = 0; i < r1.detection_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.detection_ms[i], r2.detection_ms[i]);
+  }
+}
+
+TEST(Detection, HydraBeatsSingleCoreOnTheCaseStudy) {
+  // The headline Fig. 1 claim at small scale: mean worst-case detection time
+  // under HYDRA is below SingleCore's for every tested core count.
+  for (const std::size_t m : {2u, 4u}) {
+    const auto inst = hydra::gen::uav_case_study(m);
+    const auto hydra_alloc = core::HydraAllocator().allocate(inst);
+    const auto single_alloc = core::SingleCoreAllocator().allocate(inst);
+    ASSERT_TRUE(hydra_alloc.feasible);
+    ASSERT_TRUE(single_alloc.feasible);
+    const auto hydra_res = sim::measure_detection_times(inst, hydra_alloc, quick_config());
+    const auto single_res = sim::measure_detection_times(inst, single_alloc, quick_config());
+    ASSERT_GT(hydra_res.detection_ms.size(), 0u);
+    ASSERT_GT(single_res.detection_ms.size(), 0u);
+    EXPECT_LT(hydra::stats::summarize(hydra_res.detection_ms).mean,
+              hydra::stats::summarize(single_res.detection_ms).mean)
+        << "M = " << m;
+  }
+}
+
+TEST(Detection, RejectsDegenerateConfigs) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  const auto allocation = core::HydraAllocator().allocate(inst);
+  ASSERT_TRUE(allocation.feasible);
+  auto config = quick_config();
+  config.trials = 0;
+  EXPECT_THROW(sim::measure_detection_times(inst, allocation, config), std::invalid_argument);
+  config = quick_config();
+  config.horizon = 1000;  // 1 ms — far below the security periods
+  EXPECT_THROW(sim::measure_detection_times(inst, allocation, config), std::invalid_argument);
+}

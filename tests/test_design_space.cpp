@@ -1,0 +1,87 @@
+// Tests for the design-space exploration driver.
+#include <gtest/gtest.h>
+
+#include "core/design_space.h"
+#include "gen/uav.h"
+#include "rt/task.h"
+
+namespace core = hydra::core;
+namespace rt = hydra::rt;
+
+TEST(DesignSpace, EvaluatesAllSchemesOnTheCaseStudy) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  const auto report = core::explore_design_space(inst);
+  // HYDRA, HYDRA(exact-RTA), SingleCore, Optimal (2^6 = 64 <= budget).
+  ASSERT_EQ(report.points.size(), 4u);
+  EXPECT_EQ(report.points[0].scheme, "HYDRA");
+  EXPECT_EQ(report.points[1].scheme, "HYDRA(exact-RTA)");
+  EXPECT_EQ(report.points[2].scheme, "SingleCore");
+  EXPECT_EQ(report.points[3].scheme, "Optimal");
+  for (const auto& p : report.points) {
+    EXPECT_TRUE(p.allocation.feasible) << p.scheme;
+    EXPECT_TRUE(p.validated) << p.scheme << ": " << p.validation_problem;
+    EXPECT_GT(p.cumulative_tightness, 0.0);
+    EXPECT_LE(p.normalized_tightness, 1.0 + 1e-9);
+  }
+  EXPECT_TRUE(report.any_feasible());
+}
+
+TEST(DesignSpace, BestPointDominates) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  const auto report = core::explore_design_space(inst);
+  const auto best = report.best_index();
+  ASSERT_TRUE(best.has_value());
+  for (const auto& p : report.points) {
+    if (p.allocation.feasible && p.validated) {
+      EXPECT_GE(report.points[*best].cumulative_tightness,
+                p.cumulative_tightness - 1e-9);
+    }
+  }
+  // Optimal (or exact-RTA HYDRA) must be at least as tight as plain HYDRA.
+  EXPECT_GE(report.points[*best].cumulative_tightness,
+            report.points[0].cumulative_tightness - 1e-9);
+}
+
+TEST(DesignSpace, SingleCoreSkippedOnUniprocessor) {
+  core::Instance inst;
+  inst.num_cores = 1;
+  inst.rt_tasks = {rt::make_rt_task("r", 1.0, 10.0)};
+  inst.security_tasks = {rt::make_security_task("s", 10.0, 500.0, 5000.0)};
+  const auto report = core::explore_design_space(inst);
+  for (const auto& p : report.points) EXPECT_NE(p.scheme, "SingleCore");
+}
+
+TEST(DesignSpace, OptimalSkippedWhenOverBudget) {
+  auto inst = hydra::gen::uav_case_study(4);  // 4^6 = 4096 assignments
+  core::ExplorationOptions opts;
+  opts.optimal_budget = 100;  // too small
+  const auto report = core::explore_design_space(inst, opts);
+  for (const auto& p : report.points) EXPECT_NE(p.scheme, "Optimal");
+  opts.optimal_budget = 0;  // disabled
+  const auto none = core::explore_design_space(inst, opts);
+  for (const auto& p : none.points) EXPECT_NE(p.scheme, "Optimal");
+}
+
+TEST(DesignSpace, InfeasibleInstanceReportsNoFeasiblePoint) {
+  core::Instance inst;
+  inst.num_cores = 2;
+  inst.rt_tasks = {rt::make_rt_task("r0", 9.5, 10.0), rt::make_rt_task("r1", 9.5, 10.0)};
+  inst.security_tasks = {rt::make_security_task("s", 900.0, 1000.0, 2000.0)};
+  const auto report = core::explore_design_space(inst);
+  EXPECT_FALSE(report.any_feasible());
+  EXPECT_FALSE(report.best_index().has_value());
+}
+
+TEST(DesignSpace, RespectsCallerHydraOptions) {
+  const auto inst = hydra::gen::uav_case_study(2);
+  core::ExplorationOptions opts;
+  opts.hydra.solver = core::PeriodSolver::kExactRta;
+  const auto report = core::explore_design_space(inst, opts);
+  // The duplicate exact-RTA run is suppressed.
+  int hydra_points = 0;
+  for (const auto& p : report.points) {
+    if (p.scheme.rfind("HYDRA", 0) == 0) ++hydra_points;
+  }
+  EXPECT_EQ(hydra_points, 1);
+  EXPECT_TRUE(report.points[0].validated) << report.points[0].validation_problem;
+}

@@ -1,0 +1,129 @@
+// Tests for signomial SCP (posynomial maximization via monomial condensation):
+// condensation bound properties and agreement with dense grid search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/scp.h"
+#include "util/rng.h"
+
+namespace gp = hydra::gp;
+
+TEST(Condense, BoundIsTightAtExpansionPoint) {
+  gp::Posynomial f(2);
+  f += gp::Monomial(2.0, 2).with(0, 1.0);
+  f += gp::Monomial(3.0, 2).with(1, -1.0);
+  const std::vector<double> x_bar{1.5, 0.8};
+  const gp::Monomial fhat = gp::condense(f, x_bar);
+  EXPECT_NEAR(fhat.eval(x_bar), f.eval(x_bar), 1e-9);
+}
+
+TEST(Condense, IsGlobalLowerBound) {
+  // AM-GM: f̂(x) <= f(x) everywhere on the positive orthant.
+  hydra::util::Xoshiro256 rng(5150);
+  gp::Posynomial f(2);
+  f += gp::Monomial(1.0, 2).with(0, 2.0);
+  f += gp::Monomial(4.0, 2).with(0, -1.0).with(1, 1.0);
+  f += gp::Monomial(0.5, 2).with(1, -2.0);
+  const std::vector<double> x_bar{2.0, 1.0};
+  const gp::Monomial fhat = gp::condense(f, x_bar);
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::vector<double> x{rng.uniform(0.05, 20.0), rng.uniform(0.05, 20.0)};
+    EXPECT_LE(fhat.eval(x), f.eval(x) * (1.0 + 1e-10));
+  }
+}
+
+TEST(Condense, SingleTermIsExact) {
+  gp::Posynomial f(1);
+  f += gp::Monomial(7.0, 1).with(0, -2.0);
+  const gp::Monomial fhat = gp::condense(f, {3.0});
+  // A one-term posynomial condenses to itself.
+  EXPECT_NEAR(fhat.coeff(), 7.0, 1e-9);
+  EXPECT_NEAR(fhat.exponent(0), -2.0, 1e-12);
+}
+
+TEST(Scp, MaximizesInverseSumAgainstBoxOnly) {
+  // max 1/x + 1/y with x, y >= 2: optimum at x = y = 2, value 1.
+  gp::GpProblem cons;
+  const auto x = cons.add_variable("x");
+  const auto y = cons.add_variable("y");
+  cons.add_bounds(x, 2.0, 50.0);
+  cons.add_bounds(y, 2.0, 50.0);
+  gp::Posynomial obj = cons.posynomial();
+  obj += cons.monomial(1.0).with(x, -1.0);
+  obj += cons.monomial(1.0).with(y, -1.0);
+
+  const auto r = gp::maximize_posynomial_scp(cons, obj, {{10.0, 10.0}});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 1.0, 1e-4);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-3);
+}
+
+TEST(Scp, CoupledConstraintMatchesGridSearch) {
+  // max 3/x + 1/y  s.t.  1/x + 1/y <= 0.8,  x,y ∈ [1.5, 30].
+  // Weight favors x: the optimizer should spend the budget on 1/x.
+  gp::GpProblem cons;
+  const auto x = cons.add_variable("x");
+  const auto y = cons.add_variable("y");
+  cons.add_bounds(x, 1.5, 30.0);
+  cons.add_bounds(y, 1.5, 30.0);
+  gp::Posynomial budget = cons.posynomial();
+  budget += cons.monomial(1.25).with(x, -1.0);  // (1/0.8)/x
+  budget += cons.monomial(1.25).with(y, -1.0);
+  cons.add_constraint_leq1(budget);
+
+  gp::Posynomial obj = cons.posynomial();
+  obj += cons.monomial(3.0).with(x, -1.0);
+  obj += cons.monomial(1.0).with(y, -1.0);
+
+  const auto r = gp::maximize_posynomial_scp(cons, obj, {{10.0, 10.0}, {2.0, 20.0}});
+  ASSERT_TRUE(r.feasible);
+
+  // Dense grid search reference.
+  double best = 0.0;
+  for (int i = 0; i <= 400; ++i) {
+    for (int j = 0; j <= 400; ++j) {
+      const double xv = 1.5 + (30.0 - 1.5) * i / 400.0;
+      const double yv = 1.5 + (30.0 - 1.5) * j / 400.0;
+      if (1.0 / xv + 1.0 / yv > 0.8) continue;
+      best = std::max(best, 3.0 / xv + 1.0 / yv);
+    }
+  }
+  EXPECT_GE(r.objective, best - 2e-3);
+}
+
+TEST(Scp, InfeasibleConstraintsGiveInfeasible) {
+  gp::GpProblem cons;
+  const auto x = cons.add_variable("x");
+  cons.add_constraint_leq1(gp::Posynomial(cons.monomial(5.0).with(x, -1.0)));  // x >= 5
+  cons.add_constraint_leq1(gp::Posynomial(cons.monomial(0.5).with(x, 1.0)));   // x <= 2
+  gp::Posynomial obj = cons.posynomial();
+  obj += cons.monomial(1.0).with(x, -1.0);
+  const auto r = gp::maximize_posynomial_scp(cons, obj, {{3.0}});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Scp, MultiStartPicksBetterBasin) {
+  // Even with one poor start, adding a good one must not hurt.
+  gp::GpProblem cons;
+  const auto x = cons.add_variable("x");
+  cons.add_bounds(x, 1.0, 100.0);
+  gp::Posynomial obj = cons.posynomial();
+  obj += cons.monomial(1.0).with(x, -1.0);
+  const auto r1 = gp::maximize_posynomial_scp(cons, obj, {{90.0}});
+  const auto r2 = gp::maximize_posynomial_scp(cons, obj, {{90.0}, {1.2}});
+  ASSERT_TRUE(r1.feasible);
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_GE(r2.objective, r1.objective - 1e-9);
+  EXPECT_NEAR(r2.objective, 1.0, 1e-4);  // x* = 1
+}
+
+TEST(Scp, RequiresAtLeastOneStart) {
+  gp::GpProblem cons;
+  const auto x = cons.add_variable("x");
+  cons.add_bounds(x, 1.0, 2.0);
+  gp::Posynomial obj = cons.posynomial();
+  obj += cons.monomial(1.0).with(x, -1.0);
+  EXPECT_THROW(gp::maximize_posynomial_scp(cons, obj, {}), std::invalid_argument);
+}

@@ -1,0 +1,138 @@
+// Unit tests for src/linalg: vectors, matrices, Cholesky/SPD solves.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/rng.h"
+
+namespace la = hydra::linalg;
+
+TEST(Vector, BasicArithmetic) {
+  la::Vector a{1.0, 2.0, 3.0};
+  la::Vector b{4.0, 5.0, 6.0};
+  const la::Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 5.0);
+  EXPECT_DOUBLE_EQ(sum[2], 9.0);
+  const la::Vector diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+  const la::Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled[2], 6.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Vector, Norms) {
+  la::Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+}
+
+TEST(Vector, AllFiniteDetectsNan) {
+  la::Vector v{1.0, 2.0};
+  EXPECT_TRUE(v.all_finite());
+  v[1] = std::nan("");
+  EXPECT_FALSE(v.all_finite());
+}
+
+TEST(Vector, SizeMismatchThrows) {
+  la::Vector a(2), b(3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+  EXPECT_THROW(a[5], std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const la::Matrix eye = la::Matrix::identity(3);
+  la::Vector v{1.0, 2.0, 3.0};
+  const la::Vector out = eye * v;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(out[i], v[i]);
+}
+
+TEST(Matrix, MatVec) {
+  la::Matrix m(2, 3);
+  m(0, 0) = 1.0; m(0, 1) = 2.0; m(0, 2) = 3.0;
+  m(1, 0) = 4.0; m(1, 1) = 5.0; m(1, 2) = 6.0;
+  const la::Vector out = m * la::Vector{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(Matrix, AddOuterProduct) {
+  la::Matrix m(2, 2);
+  m.add_outer(la::Vector{1.0, 2.0}, 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 12.0);
+}
+
+TEST(Cholesky, FactorizesKnownSpdMatrix) {
+  // A = [[4, 2], [2, 3]] = L·Lᵀ with L = [[2, 0], [1, sqrt(2)]].
+  la::Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 3.0;
+  const auto l = la::cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3 and -1
+  EXPECT_FALSE(la::cholesky(a).has_value());
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 3.0;
+  const la::Vector x_true{1.0, -2.0};
+  const la::Vector b = a * x_true;
+  const la::Vector x = la::solve_spd(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], -2.0, 1e-10);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip) {
+  hydra::util::Xoshiro256 rng(99);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rep) % 8;
+    // Build SPD as Bᵀ·B + I.
+    la::Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    la::Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = (i == j) ? 1.0 : 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += b(k, i) * b(k, j);
+        a(i, j) = acc;
+      }
+    }
+    la::Vector x_true(n);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-5.0, 5.0);
+    const la::Vector rhs = a * x_true;
+    const la::Vector x = la::solve_spd(a, rhs);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, SingularMatrixRegularizedSolveStillFinite) {
+  // Rank-deficient: solve_spd should regularize rather than crash.
+  la::Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 1.0;
+  const la::Vector x = la::solve_spd(a, la::Vector{1.0, 1.0});
+  EXPECT_TRUE(x.all_finite());
+}
+
+TEST(Cholesky, SolveSizeMismatchThrows) {
+  la::Matrix a(2, 2);
+  EXPECT_THROW(la::solve_spd(a, la::Vector(3)), std::invalid_argument);
+}

@@ -1,0 +1,131 @@
+// Tests for the exhaustive Optimal allocator: dominance over HYDRA, agreement
+// with brute force on tiny cases, and the enumeration guard.
+#include <gtest/gtest.h>
+
+#include "core/hydra.h"
+#include "core/optimal.h"
+#include "core/validation.h"
+#include "rt/task.h"
+#include "util/rng.h"
+
+namespace core = hydra::core;
+namespace rt = hydra::rt;
+
+namespace {
+
+core::Instance contended_instance(std::uint64_t seed, std::size_t ns) {
+  hydra::util::Xoshiro256 rng(seed);
+  core::Instance inst;
+  inst.num_cores = 2;
+  for (int i = 0; i < 3; ++i) {
+    const double period = rng.uniform(20.0, 200.0);
+    inst.rt_tasks.push_back(
+        rt::make_rt_task("r" + std::to_string(i), rng.uniform(0.1, 0.25) * period, period));
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    const double t_des = rng.uniform(800.0, 3000.0);
+    inst.security_tasks.push_back(rt::make_security_task(
+        "s" + std::to_string(i), rng.uniform(0.15, 0.45) * t_des, t_des, 10.0 * t_des));
+  }
+  return inst;
+}
+
+}  // namespace
+
+TEST(Optimal, FeasibleAndValidOnSmallInstance) {
+  const auto inst = contended_instance(9, 3);
+  const auto allocation = core::OptimalAllocator().allocate(inst);
+  ASSERT_TRUE(allocation.feasible) << allocation.failure_reason;
+  const auto report = core::validate_allocation(inst, allocation);
+  EXPECT_TRUE(report.valid) << report.problem;
+}
+
+TEST(Optimal, DominatesHydraTightness) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    const auto inst = contended_instance(seed, 4);
+    const auto hydra_alloc = core::HydraAllocator().allocate(inst);
+    const auto optimal_alloc = core::OptimalAllocator().allocate(inst);
+    if (!hydra_alloc.feasible) continue;  // nothing to dominate
+    ASSERT_TRUE(optimal_alloc.feasible) << "optimal must succeed whenever HYDRA does";
+    EXPECT_GE(optimal_alloc.cumulative_tightness(inst.security_tasks),
+              hydra_alloc.cumulative_tightness(inst.security_tasks) - 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(Optimal, SeparatesHeavyMonitorsThatCannotShareACore) {
+  // Two monitors whose combined demand saturates a core: the only feasible
+  // assignments use distinct cores, and Optimal must find one.
+  core::Instance inst;
+  inst.num_cores = 2;
+  inst.security_tasks = {rt::make_security_task("a", 800.0, 1000.0, 1500.0),
+                         rt::make_security_task("b", 800.0, 1000.0, 1500.0)};
+  const auto optimal_alloc = core::OptimalAllocator().allocate(inst);
+  ASSERT_TRUE(optimal_alloc.feasible);
+  EXPECT_NE(optimal_alloc.placements[0].core, optimal_alloc.placements[1].core);
+}
+
+TEST(Optimal, MatchesBruteForceOnTinyCase) {
+  // One core, one security task: optimal period = closed form.
+  core::Instance inst;
+  inst.num_cores = 1;
+  inst.rt_tasks = {rt::make_rt_task("r", 3.0, 10.0)};
+  inst.security_tasks = {rt::make_security_task("s", 200.0, 500.0, 5000.0)};
+  const auto allocation = core::OptimalAllocator().allocate(inst);
+  ASSERT_TRUE(allocation.feasible);
+  // (200 + 3)/(1 − 0.3) = 290 < 500 → period Tdes, η = 1.
+  EXPECT_NEAR(allocation.placements[0].period, 500.0, 1.0);
+}
+
+TEST(Optimal, InfeasibleWhenNoAssignmentWorks) {
+  core::Instance inst;
+  inst.num_cores = 2;
+  inst.rt_tasks = {rt::make_rt_task("r0", 9.0, 10.0), rt::make_rt_task("r1", 9.0, 10.0)};
+  inst.security_tasks = {rt::make_security_task("s", 800.0, 1000.0, 1500.0)};
+  const auto allocation = core::OptimalAllocator().allocate(inst);
+  EXPECT_FALSE(allocation.feasible);
+  EXPECT_FALSE(allocation.failure_reason.empty());
+}
+
+TEST(Optimal, EnumerationGuardThrows) {
+  core::Instance inst;
+  inst.num_cores = 4;
+  for (int i = 0; i < 12; ++i) {
+    inst.security_tasks.push_back(
+        rt::make_security_task("s" + std::to_string(i), 1.0, 100.0, 1000.0));
+  }
+  core::OptimalOptions opts;
+  opts.max_assignments = 1000;  // 4^12 »  1000
+  EXPECT_THROW(core::OptimalAllocator(opts).allocate(inst), std::invalid_argument);
+}
+
+TEST(Optimal, EmptySecuritySetFeasible) {
+  core::Instance inst;
+  inst.num_cores = 2;
+  inst.rt_tasks = {rt::make_rt_task("r", 1.0, 10.0)};
+  const auto allocation = core::OptimalAllocator().allocate(inst);
+  EXPECT_TRUE(allocation.feasible);
+  EXPECT_TRUE(allocation.placements.empty());
+}
+
+// Property: on random small instances, Optimal(SignomialScp) is never beaten
+// by HYDRA and both validate independently.
+class OptimalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalProperty, DominanceAndValidity) {
+  const auto inst = contended_instance(GetParam(), 3);
+  const auto hydra_alloc = core::HydraAllocator().allocate(inst);
+  const auto optimal_alloc = core::OptimalAllocator().allocate(inst);
+  if (optimal_alloc.feasible) {
+    const auto report = core::validate_allocation(inst, optimal_alloc);
+    EXPECT_TRUE(report.valid) << report.problem;
+  }
+  if (hydra_alloc.feasible) {
+    ASSERT_TRUE(optimal_alloc.feasible);
+    EXPECT_GE(optimal_alloc.cumulative_tightness(inst.security_tasks),
+              hydra_alloc.cumulative_tightness(inst.security_tasks) - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));

@@ -1,0 +1,173 @@
+// Tests for the partitioning heuristics: correctness invariants (every core
+// RM-schedulable, all tasks placed), strategy-specific behaviours, and
+// failure cases.
+#include <gtest/gtest.h>
+
+#include "rt/analysis.h"
+#include "rt/partition.h"
+#include "util/rng.h"
+
+namespace rt = hydra::rt;
+
+namespace {
+
+std::vector<rt::RtTask> uniform_tasks(int n, double util_each, double period) {
+  std::vector<rt::RtTask> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back(rt::make_rt_task("t" + std::to_string(i), util_each * period, period));
+  }
+  return tasks;
+}
+
+}  // namespace
+
+TEST(Partition, SingleTaskGoesToCoreZeroFirstFit) {
+  const auto tasks = uniform_tasks(1, 0.5, 10.0);
+  rt::PartitionOptions opts;
+  opts.strategy = rt::FitStrategy::kFirstFit;
+  const auto p = rt::partition_rt_tasks(tasks, 4, opts);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->core_of[0], 0u);
+}
+
+TEST(Partition, EveryCoreRemainsSchedulable) {
+  hydra::util::Xoshiro256 rng(42);
+  for (const auto strategy :
+       {rt::FitStrategy::kFirstFit, rt::FitStrategy::kBestFit, rt::FitStrategy::kWorstFit,
+        rt::FitStrategy::kNextFit}) {
+    std::vector<rt::RtTask> tasks;
+    for (int i = 0; i < 16; ++i) {
+      const double period = rng.uniform(10.0, 200.0);
+      tasks.push_back(
+          rt::make_rt_task("t" + std::to_string(i), rng.uniform(0.05, 0.2) * period, period));
+    }
+    rt::PartitionOptions opts;
+    opts.strategy = strategy;
+    const auto p = rt::partition_rt_tasks(tasks, 4, opts);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_EQ(p->core_of.size(), tasks.size());
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_TRUE(rt::core_schedulable_rm(p->tasks_on_core(tasks, c)))
+          << "strategy " << static_cast<int>(strategy) << " core " << c;
+    }
+  }
+}
+
+TEST(Partition, WorstFitSpreadsLoad) {
+  // Four identical tasks on four cores: worst-fit puts one per core.
+  const auto tasks = uniform_tasks(4, 0.4, 10.0);
+  rt::PartitionOptions opts;
+  opts.strategy = rt::FitStrategy::kWorstFit;
+  const auto p = rt::partition_rt_tasks(tasks, 4, opts);
+  ASSERT_TRUE(p.has_value());
+  const auto util = p->core_utilizations(tasks);
+  for (const double u : util) EXPECT_NEAR(u, 0.4, 1e-12);
+}
+
+TEST(Partition, BestFitPacksTightly) {
+  // Two tasks of 0.3 plus one of 0.6 on two cores.  Best-fit (decreasing)
+  // places big on core 0, then packs s1 next to it (core 0 is the most
+  // loaded feasible core, 0.9 total); s2 no longer fits there and opens
+  // core 1.
+  std::vector<rt::RtTask> tasks{rt::make_rt_task("big", 6.0, 10.0),
+                                rt::make_rt_task("s1", 3.0, 10.0),
+                                rt::make_rt_task("s2", 3.0, 10.0)};
+  rt::PartitionOptions opts;
+  opts.strategy = rt::FitStrategy::kBestFit;
+  const auto p = rt::partition_rt_tasks(tasks, 2, opts);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->core_of[0], p->core_of[1]);  // big + s1 share the packed core
+  EXPECT_NE(p->core_of[2], p->core_of[0]);
+  const auto util = p->core_utilizations(tasks);
+  EXPECT_NEAR(util[p->core_of[0]], 0.9, 1e-12);
+}
+
+TEST(Partition, InfeasibleReturnsNullopt) {
+  // Three tasks of 0.8 cannot fit on two cores.
+  const auto tasks = uniform_tasks(3, 0.8, 10.0);
+  for (const auto strategy :
+       {rt::FitStrategy::kFirstFit, rt::FitStrategy::kBestFit, rt::FitStrategy::kWorstFit,
+        rt::FitStrategy::kNextFit}) {
+    rt::PartitionOptions opts;
+    opts.strategy = strategy;
+    EXPECT_FALSE(rt::partition_rt_tasks(tasks, 2, opts).has_value());
+  }
+}
+
+TEST(Partition, DecreasingUtilizationHelpsPacking) {
+  // 2 cores; tasks 0.55, 0.55, 0.35, 0.35, 0.2 (harmonic periods).  In input
+  // order first-fit places 0.55+0.35 on core0, 0.55+0.35 on core1, then 0.2
+  // fails on both.  Decreasing order packs 0.55/0.35 pairs plus 0.2 → fits.
+  std::vector<rt::RtTask> tasks{
+      rt::make_rt_task("a", 5.5, 10.0), rt::make_rt_task("b", 5.5, 10.0),
+      rt::make_rt_task("c", 3.5, 10.0), rt::make_rt_task("d", 3.5, 10.0),
+      rt::make_rt_task("e", 2.0, 20.0)};
+  rt::PartitionOptions sorted;
+  sorted.strategy = rt::FitStrategy::kFirstFit;
+  sorted.decreasing_utilization = true;
+  EXPECT_TRUE(rt::partition_rt_tasks(tasks, 2, sorted).has_value());
+}
+
+TEST(Partition, CoreUtilizationsSumToTotal) {
+  hydra::util::Xoshiro256 rng(7);
+  std::vector<rt::RtTask> tasks;
+  double total = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const double period = rng.uniform(20.0, 100.0);
+    const double u = rng.uniform(0.02, 0.12);
+    total += u;
+    tasks.push_back(rt::make_rt_task("t" + std::to_string(i), u * period, period));
+  }
+  const auto p = rt::partition_rt_tasks(tasks, 3);
+  ASSERT_TRUE(p.has_value());
+  const auto util = p->core_utilizations(tasks);
+  double sum = 0.0;
+  for (const double u : util) sum += u;
+  EXPECT_NEAR(sum, total, 1e-9);
+}
+
+TEST(Partition, TasksOnCoreRoundTrips) {
+  const auto tasks = uniform_tasks(6, 0.1, 30.0);
+  const auto p = rt::partition_rt_tasks(tasks, 2);
+  ASSERT_TRUE(p.has_value());
+  std::size_t covered = 0;
+  for (std::size_t c = 0; c < 2; ++c) covered += p->tasks_on_core(tasks, c).size();
+  EXPECT_EQ(covered, tasks.size());
+  EXPECT_THROW(p->tasks_on_core(tasks, 5), std::invalid_argument);
+}
+
+TEST(Partition, ZeroCoresRejected) {
+  EXPECT_THROW(rt::partition_rt_tasks({}, 0), std::invalid_argument);
+}
+
+TEST(Partition, EmptyTaskSetTrivial) {
+  const auto p = rt::partition_rt_tasks({}, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->core_of.empty());
+}
+
+// Property sweep: whenever a partition is returned, it is valid; whenever the
+// total utilization is <= 50% of capacity with small tasks, it must succeed.
+class PartitionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionProperty, LowLoadAlwaysPlaceable) {
+  hydra::util::Xoshiro256 rng(GetParam());
+  const std::size_t cores = 2 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  std::vector<rt::RtTask> tasks;
+  double budget = 0.5 * static_cast<double>(cores);
+  int i = 0;
+  while (budget > 0.05) {
+    const double u = std::min(budget, rng.uniform(0.02, 0.2));
+    const double period = rng.uniform(10.0, 1000.0);
+    tasks.push_back(rt::make_rt_task("t" + std::to_string(i++), u * period, period));
+    budget -= u;
+  }
+  const auto p = rt::partition_rt_tasks(tasks, cores);
+  ASSERT_TRUE(p.has_value());
+  for (std::size_t c = 0; c < cores; ++c) {
+    EXPECT_TRUE(rt::core_schedulable_rm(p->tasks_on_core(tasks, c)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));

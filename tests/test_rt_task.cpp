@@ -1,0 +1,133 @@
+// Tests for the task model (§II) and priority orders.
+#include <gtest/gtest.h>
+
+#include "rt/priority.h"
+#include "rt/task.h"
+
+namespace rt = hydra::rt;
+
+TEST(RtTask, MakeImplicitDeadline) {
+  const auto t = rt::make_rt_task("a", 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.deadline, 10.0);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.2);
+  EXPECT_NO_THROW(rt::validate(t));
+}
+
+TEST(RtTask, ValidationRejectsBadShapes) {
+  EXPECT_THROW(rt::validate(rt::RtTask{"z", 0.0, 10.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW(rt::validate(rt::RtTask{"z", -1.0, 10.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW(rt::validate(rt::RtTask{"z", 11.0, 10.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW(rt::validate(rt::RtTask{"z", 1.0, 10.0, 12.0}), std::invalid_argument);  // D > T
+  EXPECT_NO_THROW(rt::validate(rt::RtTask{"z", 1.0, 10.0, 5.0}));  // constrained deadline ok
+}
+
+TEST(SecurityTask, ValidationAndDerivedQuantities) {
+  const auto s = rt::make_security_task("s", 10.0, 100.0, 1000.0, 2.0);
+  EXPECT_NO_THROW(rt::validate(s));
+  EXPECT_DOUBLE_EQ(s.max_utilization(), 0.1);
+  EXPECT_DOUBLE_EQ(s.min_utilization(), 0.01);
+  EXPECT_DOUBLE_EQ(s.min_tightness(), 0.1);
+}
+
+TEST(SecurityTask, ValidationRejectsBadShapes) {
+  EXPECT_THROW(rt::validate(rt::make_security_task("s", 0.0, 10.0, 20.0)),
+               std::invalid_argument);
+  EXPECT_THROW(rt::validate(rt::make_security_task("s", 15.0, 10.0, 20.0)),
+               std::invalid_argument);  // C > Tdes
+  EXPECT_THROW(rt::validate(rt::make_security_task("s", 1.0, 30.0, 20.0)),
+               std::invalid_argument);  // Tmax < Tdes
+  EXPECT_THROW(rt::validate(rt::make_security_task("s", 1.0, 10.0, 20.0, -1.0)),
+               std::invalid_argument);  // bad weight
+}
+
+TEST(TotalUtilization, Sums) {
+  const std::vector<rt::RtTask> tasks{rt::make_rt_task("a", 1.0, 10.0),
+                                      rt::make_rt_task("b", 2.0, 10.0)};
+  EXPECT_DOUBLE_EQ(rt::total_utilization(tasks), 0.3);
+  const std::vector<rt::SecurityTask> sec{rt::make_security_task("s", 10.0, 100.0, 1000.0)};
+  EXPECT_DOUBLE_EQ(rt::total_max_utilization(sec), 0.1);
+}
+
+TEST(Priority, RateMonotonicOrder) {
+  const std::vector<rt::RtTask> tasks{rt::make_rt_task("slow", 1.0, 100.0),
+                                      rt::make_rt_task("fast", 1.0, 10.0),
+                                      rt::make_rt_task("mid", 1.0, 50.0)};
+  const auto order = rt::rm_priority_order(tasks);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);  // fast first
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(Priority, RmTiesBrokenByIndex) {
+  const std::vector<rt::RtTask> tasks{rt::make_rt_task("a", 1.0, 10.0),
+                                      rt::make_rt_task("b", 1.0, 10.0)};
+  const auto order = rt::rm_priority_order(tasks);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(Priority, SecurityOrderByTmaxAscending) {
+  // Paper §II-C: pri(τ1) > pri(τ2) iff Tmax1 < Tmax2.
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("loose", 1.0, 10.0, 500.0),
+      rt::make_security_task("tight", 1.0, 20.0, 100.0),
+  };
+  const auto order = rt::security_priority_order(tasks);
+  EXPECT_EQ(order[0], 1u);  // smaller Tmax → higher priority, despite larger Tdes
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(Priority, RankIsInversePermutation) {
+  const std::vector<rt::RtTask> tasks{rt::make_rt_task("a", 1.0, 30.0),
+                                      rt::make_rt_task("b", 1.0, 10.0),
+                                      rt::make_rt_task("c", 1.0, 20.0)};
+  const auto order = rt::rm_priority_order(tasks);
+  const auto rank = rt::rank_of(order);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    EXPECT_EQ(rank[order[pos]], pos);
+  }
+}
+
+TEST(Priority, ResolveOrderDefaultsToTmaxRule) {
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("loose", 1.0, 10.0, 500.0),
+      rt::make_security_task("tight", 1.0, 20.0, 100.0),
+  };
+  EXPECT_EQ(rt::resolve_security_order(tasks, std::nullopt),
+            rt::security_priority_order(tasks));
+}
+
+TEST(Priority, ResolveOrderAcceptsValidOverride) {
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("a", 1.0, 10.0, 100.0),
+      rt::make_security_task("b", 1.0, 10.0, 200.0),
+  };
+  const std::vector<std::size_t> flipped{1, 0};
+  EXPECT_EQ(rt::resolve_security_order(tasks, flipped), flipped);
+}
+
+TEST(Priority, ResolveOrderRejectsBadOverride) {
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("a", 1.0, 10.0, 100.0),
+      rt::make_security_task("b", 1.0, 10.0, 200.0),
+  };
+  EXPECT_THROW(rt::resolve_security_order(tasks, std::vector<std::size_t>{0}),
+               std::invalid_argument);  // wrong size
+  EXPECT_THROW(rt::resolve_security_order(tasks, std::vector<std::size_t>{0, 0}),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW(rt::resolve_security_order(tasks, std::vector<std::size_t>{0, 5}),
+               std::invalid_argument);  // out of range
+}
+
+TEST(Priority, WeightsDecreaseWithPriorityRank) {
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("low", 1.0, 10.0, 300.0),
+      rt::make_security_task("high", 1.0, 10.0, 100.0),
+      rt::make_security_task("mid", 1.0, 10.0, 200.0),
+  };
+  const auto w = rt::priority_weights(tasks);
+  EXPECT_DOUBLE_EQ(w[1], 3.0);  // highest priority → largest weight
+  EXPECT_DOUBLE_EQ(w[2], 2.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}

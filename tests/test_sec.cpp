@@ -1,0 +1,164 @@
+// Tests for the security metric (tightness, Eq. 2/3) and the Table-I catalog
+// with its precedence chains.
+#include <gtest/gtest.h>
+
+#include "rt/priority.h"
+#include "sec/catalog.h"
+#include "sec/tightness.h"
+
+namespace sec = hydra::sec;
+namespace rt = hydra::rt;
+
+TEST(Tightness, OneAtDesiredPeriod) {
+  const auto t = rt::make_security_task("s", 1.0, 100.0, 1000.0);
+  EXPECT_DOUBLE_EQ(sec::tightness(t, 100.0), 1.0);
+}
+
+TEST(Tightness, LowerBoundAtMaxPeriod) {
+  const auto t = rt::make_security_task("s", 1.0, 100.0, 1000.0);
+  EXPECT_DOUBLE_EQ(sec::tightness(t, 1000.0), 0.1);
+  EXPECT_DOUBLE_EQ(t.min_tightness(), 0.1);
+}
+
+TEST(Tightness, StrictlyDecreasingInPeriod) {
+  const auto t = rt::make_security_task("s", 1.0, 100.0, 1000.0);
+  double prev = 2.0;
+  for (double period = 100.0; period <= 1000.0; period += 50.0) {
+    const double eta = sec::tightness(t, period);
+    EXPECT_LT(eta, prev);
+    EXPECT_GT(eta, 0.0);
+    EXPECT_LE(eta, 1.0);
+    prev = eta;
+  }
+}
+
+TEST(Tightness, OutOfRangePeriodRejected) {
+  const auto t = rt::make_security_task("s", 1.0, 100.0, 1000.0);
+  EXPECT_THROW(sec::tightness(t, 99.0), std::invalid_argument);
+  EXPECT_THROW(sec::tightness(t, 1001.0), std::invalid_argument);
+  EXPECT_THROW(sec::tightness(t, -5.0), std::invalid_argument);
+}
+
+TEST(Tightness, CumulativeWeighted) {
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("a", 1.0, 100.0, 1000.0, 2.0),
+      rt::make_security_task("b", 1.0, 200.0, 2000.0, 1.0),
+  };
+  // η_a = 0.5 (period 200), η_b = 1.0 (period 200): 2·0.5 + 1·1.0 = 2.0.
+  EXPECT_DOUBLE_EQ(sec::cumulative_tightness(tasks, {200.0, 200.0}), 2.0);
+  EXPECT_DOUBLE_EQ(sec::max_cumulative_tightness(tasks), 3.0);
+  EXPECT_DOUBLE_EQ(sec::min_cumulative_tightness(tasks), 2.0 * 0.1 + 1.0 * 0.1);
+}
+
+TEST(Tightness, CumulativeSizeMismatchThrows) {
+  const std::vector<rt::SecurityTask> tasks{rt::make_security_task("a", 1.0, 10.0, 100.0)};
+  EXPECT_THROW(sec::cumulative_tightness(tasks, {10.0, 20.0}), std::invalid_argument);
+}
+
+TEST(Catalog, HasSixTableOneTasks) {
+  const auto catalog = sec::tripwire_bro_catalog();
+  ASSERT_EQ(catalog.size(), 6u);
+  // Five Tripwire tasks and one Bro task, as in Table I.
+  int tripwire = 0, bro = 0;
+  for (const auto& e : catalog) {
+    (e.app == sec::SecurityApp::kTripwire ? tripwire : bro)++;
+    EXPECT_FALSE(e.function.empty());
+  }
+  EXPECT_EQ(tripwire, 5);
+  EXPECT_EQ(bro, 1);
+}
+
+TEST(Catalog, TasksAreValidAndFollowSectionIvbConventions) {
+  for (const auto& t : sec::tripwire_bro_tasks()) {
+    EXPECT_NO_THROW(rt::validate(t));
+    EXPECT_GE(t.period_des, 1000.0);
+    EXPECT_LE(t.period_des, 3000.0);
+    EXPECT_DOUBLE_EQ(t.period_max, 10.0 * t.period_des);  // Tmax = 10·Tdes
+  }
+}
+
+TEST(Catalog, OrderedByAscendingTmax) {
+  const auto tasks = sec::tripwire_bro_tasks();
+  for (std::size_t i = 0; i + 1 < tasks.size(); ++i) {
+    EXPECT_LE(tasks[i].period_max, tasks[i + 1].period_max);
+  }
+  // Hence the priority order is the identity.
+  const auto order = rt::security_priority_order(tasks);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Chains, DefaultChainRespectedByCatalogPriorities) {
+  const auto tasks = sec::tripwire_bro_tasks();
+  const auto rank = rt::rank_of(rt::security_priority_order(tasks));
+  EXPECT_TRUE(sec::respects_chains(sec::default_chains(), rank));
+}
+
+TEST(Chains, ViolationDetected) {
+  // Chain 0 → 1 violated when task 1 outranks task 0.
+  const sec::Chain chain{{0, 1}};
+  EXPECT_FALSE(sec::respects_chains({chain}, {1, 0}));
+  EXPECT_TRUE(sec::respects_chains({chain}, {0, 1}));
+}
+
+TEST(Chains, MultiMemberChain) {
+  const sec::Chain chain{{2, 0, 1}};
+  // Ranks: task2 = 0 (highest), task0 = 1, task1 = 2 — consistent.
+  EXPECT_TRUE(sec::respects_chains({chain}, {1, 2, 0}));
+  // Ranks: task2 = 2 — breaks the first edge.
+  EXPECT_FALSE(sec::respects_chains({chain}, {0, 1, 2}));
+}
+
+TEST(Chains, OutOfRangeIndexRejected) {
+  const sec::Chain chain{{0, 9}};
+  EXPECT_THROW(sec::respects_chains({chain}, {0, 1}), std::invalid_argument);
+}
+
+TEST(ChainOrder, NoChainsGivesTmaxOrder) {
+  const auto tasks = sec::tripwire_bro_tasks();
+  EXPECT_EQ(sec::chain_consistent_order(tasks, {}), rt::security_priority_order(tasks));
+}
+
+TEST(ChainOrder, ChainOverridesTmaxOrder) {
+  // Task 1 has the smaller Tmax (would rank first), but the chain demands
+  // 0 before 1.
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("late", 1.0, 100.0, 5000.0),
+      rt::make_security_task("early", 1.0, 100.0, 1000.0),
+  };
+  const auto order = sec::chain_consistent_order(tasks, {sec::Chain{{0, 1}}});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_TRUE(sec::respects_chains({sec::Chain{{0, 1}}}, rt::rank_of(order)));
+}
+
+TEST(ChainOrder, UnconstrainedTasksKeepRelativeTmaxOrder) {
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("a", 1.0, 100.0, 4000.0),
+      rt::make_security_task("b", 1.0, 100.0, 1000.0),
+      rt::make_security_task("c", 1.0, 100.0, 2000.0),
+      rt::make_security_task("d", 1.0, 100.0, 3000.0),
+  };
+  // Chain forces a before b; c and d are free and must stay Tmax-sorted.
+  const auto order = sec::chain_consistent_order(tasks, {sec::Chain{{0, 1}}});
+  const auto rank = rt::rank_of(order);
+  EXPECT_LT(rank[0], rank[1]);  // chain edge
+  EXPECT_LT(rank[2], rank[3]);  // Tmax order among free tasks
+}
+
+TEST(ChainOrder, CycleRejected) {
+  const std::vector<rt::SecurityTask> tasks{
+      rt::make_security_task("a", 1.0, 100.0, 1000.0),
+      rt::make_security_task("b", 1.0, 100.0, 2000.0),
+  };
+  EXPECT_THROW(sec::chain_consistent_order(tasks, {sec::Chain{{0, 1}}, sec::Chain{{1, 0}}}),
+               std::invalid_argument);
+}
+
+TEST(ChainOrder, CatalogWithDefaultChainsUnchanged) {
+  // The catalog's Tmax order already satisfies the default chain, so the
+  // chain-consistent order equals the plain order.
+  const auto tasks = sec::tripwire_bro_tasks();
+  EXPECT_EQ(sec::chain_consistent_order(tasks, sec::default_chains()),
+            rt::security_priority_order(tasks));
+}

@@ -1,0 +1,191 @@
+// Tests for the statistics utilities: the paper's ECDF definition, quantiles,
+// summaries and the Fig. 2/3 ratio helpers.
+#include <gtest/gtest.h>
+
+#include "stats/ecdf.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+#include "util/rng.h"
+
+namespace stats = hydra::stats;
+
+TEST(Ecdf, MatchesPaperDefinition) {
+  // F̂(ε) = (1/α)·Σ 1[ζ_i <= ε] with samples {1, 2, 2, 5}.
+  const stats::EmpiricalCdf cdf({5.0, 2.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);   // inclusive at sample points
+  EXPECT_DOUBLE_EQ(cdf(1.999), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(4.999), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(100.0), 1.0);
+}
+
+TEST(Ecdf, MonotoneAndBounded) {
+  const stats::EmpiricalCdf cdf({3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0});
+  double prev = 0.0;
+  for (double x = 0.0; x <= 10.0; x += 0.1) {
+    const double v = cdf(x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(Ecdf, EmptyRejected) {
+  EXPECT_THROW(stats::EmpiricalCdf({}), std::invalid_argument);
+}
+
+TEST(Ecdf, QuantilesAreOrderStatistics) {
+  const stats::EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.75), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 10.0);
+  EXPECT_THROW(cdf.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Ecdf, QuantileInvertsCdf) {
+  const stats::EmpiricalCdf cdf({1.0, 3.0, 3.0, 7.0, 9.0});
+  for (const double p : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    EXPECT_GE(cdf(cdf.quantile(p)), p - 1e-12);
+  }
+}
+
+TEST(Ecdf, SeriesSpansRange) {
+  const stats::EmpiricalCdf cdf({2.0, 4.0});
+  const auto series = cdf.series(8.0, 5);  // x = 0, 2, 4, 6, 8
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 8.0);
+  EXPECT_DOUBLE_EQ(series[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(series[1].second, 0.5);
+  EXPECT_DOUBLE_EQ(series[2].second, 1.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Ecdf, MinMaxMean) {
+  const stats::EmpiricalCdf cdf({4.0, 1.0, 7.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 4.0);
+  EXPECT_EQ(cdf.size(), 3u);
+}
+
+TEST(Summary, KnownValues) {
+  const auto s = stats::summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summary, EmptyRejected) {
+  EXPECT_THROW(stats::summarize({}), std::invalid_argument);
+}
+
+TEST(MeanCi, CoversKnownMean) {
+  const auto ci = stats::mean_ci95({4.0, 6.0, 5.0, 5.0, 4.5, 5.5});
+  EXPECT_NEAR(ci.mean, 5.0, 1e-12);
+  EXPECT_LT(ci.lo, 5.0);
+  EXPECT_GT(ci.hi, 5.0);
+  EXPECT_NEAR(ci.hi - ci.mean, ci.mean - ci.lo, 1e-12);  // symmetric
+}
+
+TEST(MeanCi, SingleSampleDegeneratesToPoint) {
+  const auto ci = stats::mean_ci95({7.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 7.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(MeanCi, WidthShrinksWithSampleSize) {
+  std::vector<double> small, large;
+  hydra::util::Xoshiro256 rng(1);
+  for (int i = 0; i < 20; ++i) small.push_back(rng.uniform(0.0, 1.0));
+  for (int i = 0; i < 2000; ++i) large.push_back(rng.uniform(0.0, 1.0));
+  const auto ci_small = stats::mean_ci95(small);
+  const auto ci_large = stats::mean_ci95(large);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+  // The large-sample CI must cover the true mean 0.5.
+  EXPECT_LT(ci_large.lo, 0.5);
+  EXPECT_GT(ci_large.hi, 0.5);
+}
+
+TEST(AcceptanceCounter, RatioAccounting) {
+  stats::AcceptanceCounter c;
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.0);
+  c.record(true);
+  c.record(false);
+  c.record(true);
+  c.record(true);
+  EXPECT_EQ(c.accepted, 3u);
+  EXPECT_EQ(c.total, 4u);
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.75);
+}
+
+TEST(Improvement, SignConventionFavoursOurs) {
+  EXPECT_DOUBLE_EQ(stats::improvement_percent(0.8, 0.4), 100.0);
+  EXPECT_DOUBLE_EQ(stats::improvement_percent(0.4, 0.8), -50.0);
+  EXPECT_DOUBLE_EQ(stats::improvement_percent(0.5, 0.5), 0.0);
+  // Conventions at the zero boundary (Fig. 2's high-utilization tail).
+  EXPECT_DOUBLE_EQ(stats::improvement_percent(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::improvement_percent(0.3, 0.0), 100.0);
+}
+
+TEST(Gap, Fig3Convention) {
+  // Δη = (η_OPT − η_HYDRA)/η_OPT × 100.
+  EXPECT_DOUBLE_EQ(stats::gap_percent(2.0, 1.8), 10.0);
+  EXPECT_DOUBLE_EQ(stats::gap_percent(2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::gap_percent(0.0, 0.0), 0.0);
+}
+
+TEST(Ks, IdenticalSamplesGiveZero) {
+  const stats::EmpiricalCdf a({1.0, 2.0, 3.0});
+  const stats::EmpiricalCdf b({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats::ks_statistic(a, b), 0.0);
+  EXPECT_TRUE(stats::dominates(a, b));
+  EXPECT_TRUE(stats::dominates(b, a));
+}
+
+TEST(Ks, DisjointSupportsGiveOne) {
+  const stats::EmpiricalCdf a({1.0, 2.0});
+  const stats::EmpiricalCdf b({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(stats::ks_statistic(a, b), 1.0);
+  EXPECT_TRUE(stats::dominates(a, b));   // a's samples are smaller
+  EXPECT_FALSE(stats::dominates(b, a));
+}
+
+TEST(Ks, HandComputedValue) {
+  // a = {1, 3}, b = {2, 4}: at x=1 F_a=0.5, F_b=0 → diff 0.5 (the max).
+  const stats::EmpiricalCdf a({1.0, 3.0});
+  const stats::EmpiricalCdf b({2.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats::ks_statistic(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(stats::ks_statistic_one_sided(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(stats::ks_statistic_one_sided(b, a), 0.0);
+}
+
+TEST(Ks, SlackAbsorbsSmallCrossings) {
+  // b dips slightly above a at one point.
+  const stats::EmpiricalCdf a({1.0, 2.0, 3.0, 10.0});
+  const stats::EmpiricalCdf b({1.5, 2.5, 3.5, 4.0});
+  const double crossing = stats::ks_statistic_one_sided(b, a);
+  EXPECT_GT(crossing, 0.0);
+  EXPECT_FALSE(stats::dominates(a, b, 0.0));
+  EXPECT_TRUE(stats::dominates(a, b, crossing));
+}
+
+TEST(AcceptanceImprovement, Fig2ConventionBoundedByHundred) {
+  // (δ_H − δ_S)/δ_H × 100 — stays within the paper's 0–100 axis.
+  EXPECT_DOUBLE_EQ(stats::acceptance_improvement_percent(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::acceptance_improvement_percent(1.0, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(stats::acceptance_improvement_percent(1.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(stats::acceptance_improvement_percent(0.8, 0.2), 75.0);
+  EXPECT_DOUBLE_EQ(stats::acceptance_improvement_percent(0.0, 0.0), 0.0);
+  // Degenerate: SingleCore better would read negative (never clipped away).
+  EXPECT_DOUBLE_EQ(stats::acceptance_improvement_percent(0.5, 1.0), -100.0);
+}
