@@ -5,13 +5,18 @@
 // 29.75 % for 2/4/8 cores — shape target: HYDRA faster, improvement grows
 // with M).
 //
-// Usage: bench_fig1_detection [--cores 2,4,8] [--trials 500] [--horizon-s 500]
-//                             [--seed 1] [--cdf-points 11] [--csv]
+// Any two registered schemes can be compared: the first name in --schemes is
+// the candidate, the second the baseline (defaults reproduce the paper).
+//
+// Usage: bench_fig1_detection [--cores 2,4,8] [--schemes hydra,single-core]
+//                             [--trials 500] [--horizon-s 500] [--seed 1]
+//                             [--cdf-points 11] [--csv]
 #include <iostream>
+#include <memory>
 #include <vector>
 
-#include "core/hydra.h"
-#include "core/single_core.h"
+#include "core/allocator.h"
+#include "core/registry.h"
 #include "core/validation.h"
 #include "gen/uav.h"
 #include "io/table.h"
@@ -33,18 +38,21 @@ struct SchemeResult {
   double mean_ms = 0.0;
 };
 
-SchemeResult run_scheme(const std::string& name, const core::Instance& instance,
+SchemeResult run_scheme(const core::Allocator& scheme, const core::Instance& instance,
                         const core::Allocation& allocation, const sim::DetectionConfig& config) {
-  const auto report = core::validate_allocation(instance, allocation);
+  const auto report = core::validate_allocation(instance, allocation, scheme.blocking(),
+                                                scheme.priority_order(),
+                                                scheme.schedule_test());
   if (!report.valid) {
-    throw std::runtime_error(name + ": allocation failed validation: " + report.problem);
+    throw std::runtime_error(scheme.name() + ": allocation failed validation: " +
+                             report.problem);
   }
   const auto res = sim::measure_detection_times(instance, allocation, config);
   if (res.deadline_misses != 0) {
-    throw std::runtime_error(name + ": simulation missed deadlines");
+    throw std::runtime_error(scheme.name() + ": simulation missed deadlines");
   }
   SchemeResult out;
-  out.name = name;
+  out.name = scheme.name();
   out.detection_ms = res.detection_ms;
   out.mean_ms = hydra::stats::summarize(res.detection_ms).mean;
   return out;
@@ -55,28 +63,37 @@ SchemeResult run_scheme(const std::string& name, const core::Instance& instance,
 int main(int argc, char** argv) {
   const hydra::util::CliParser cli(argc, argv);
   const auto cores = cli.get_int_list("cores", {2, 4, 8});
+  const auto scheme_names = cli.get_string_list("schemes", {"hydra", "single-core"});
   const auto trials = static_cast<std::size_t>(cli.get_int("trials", 500));
   const auto horizon_s = static_cast<std::uint64_t>(cli.get_int("horizon-s", 500));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto cdf_points = static_cast<std::size_t>(cli.get_int("cdf-points", 26));
   const bool csv = cli.get_bool("csv", false);
 
-  io::print_banner(std::cout,
-                   "Fig. 1: empirical CDF of intrusion detection time (HYDRA vs SingleCore)");
+  if (scheme_names.size() != 2) {
+    std::cerr << "--schemes expects exactly two registered names "
+                 "(candidate,baseline)\n";
+    return 2;
+  }
+  const auto candidate = core::AllocatorRegistry::global().make(scheme_names[0]);
+  const auto baseline = core::AllocatorRegistry::global().make(scheme_names[1]);
+
+  io::print_banner(std::cout, "Fig. 1: empirical CDF of intrusion detection time (" +
+                                  candidate->name() + " vs " + baseline->name() + ")");
   std::cout << "UAV control system + Table-I security tasks; " << horizon_s
             << " s schedules; " << trials << " attack trials per scheme.\n";
 
-  io::Table summary({"cores", "mean HYDRA (ms)", "mean SingleCore (ms)",
-                     "detection improvement"});
+  io::Table summary({"cores", "mean " + candidate->name() + " (ms)",
+                     "mean " + baseline->name() + " (ms)", "detection improvement"});
 
   for (const auto m : cores) {
     const auto instance = hydra::gen::uav_case_study(static_cast<std::size_t>(m));
-    const auto hydra_alloc = core::HydraAllocator().allocate(instance);
-    const auto single_alloc = core::SingleCoreAllocator().allocate(instance);
-    if (!hydra_alloc.feasible || !single_alloc.feasible) {
+    const auto cand_alloc = candidate->allocate(instance);
+    const auto base_alloc = baseline->allocate(instance);
+    if (!cand_alloc.feasible || !base_alloc.feasible) {
       std::cout << "M = " << m << ": allocation infeasible ("
-                << (hydra_alloc.feasible ? single_alloc.failure_reason
-                                         : hydra_alloc.failure_reason)
+                << (cand_alloc.feasible ? base_alloc.failure_reason
+                                        : cand_alloc.failure_reason)
                 << ")\n";
       continue;
     }
@@ -85,16 +102,17 @@ int main(int argc, char** argv) {
     config.horizon = horizon_s * 1000u * hydra::util::kTicksPerMilli;
     config.trials = trials;
     config.seed = seed;
-    const auto hydra_res = run_scheme("HYDRA", instance, hydra_alloc, config);
-    const auto single_res = run_scheme("SingleCore", instance, single_alloc, config);
+    const auto cand_res = run_scheme(*candidate, instance, cand_alloc, config);
+    const auto base_res = run_scheme(*baseline, instance, base_alloc, config);
 
     // CDF series over the paper's 0–50 s axis.
     const double axis_ms = 50000.0;
-    const hydra::stats::EmpiricalCdf hydra_cdf(hydra_res.detection_ms);
-    const hydra::stats::EmpiricalCdf single_cdf(single_res.detection_ms);
-    io::Table cdf({"detection time (ms)", "F_HYDRA", "F_SingleCore"});
-    for (const auto& [x, f] : hydra_cdf.series(axis_ms, cdf_points)) {
-      cdf.add_row({io::fmt(x, 0), io::fmt(f, 3), io::fmt(single_cdf(x), 3)});
+    const hydra::stats::EmpiricalCdf cand_cdf(cand_res.detection_ms);
+    const hydra::stats::EmpiricalCdf base_cdf(base_res.detection_ms);
+    io::Table cdf({"detection time (ms)", "F_" + candidate->name(),
+                   "F_" + baseline->name()});
+    for (const auto& [x, f] : cand_cdf.series(axis_ms, cdf_points)) {
+      cdf.add_row({io::fmt(x, 0), io::fmt(f, 3), io::fmt(base_cdf(x), 3)});
     }
     io::print_banner(std::cout, "M = " + std::to_string(m) + " cores");
     if (csv) {
@@ -106,18 +124,19 @@ int main(int argc, char** argv) {
     // Average improvement in detection time (faster = positive), with the
     // dominance check and distribution distance the curves only suggest.
     const double improvement =
-        (single_res.mean_ms - hydra_res.mean_ms) / single_res.mean_ms * 100.0;
-    summary.add_row({std::to_string(m), io::fmt(hydra_res.mean_ms, 1),
-                     io::fmt(single_res.mean_ms, 1), io::fmt_percent(improvement, 2)});
+        (base_res.mean_ms - cand_res.mean_ms) / base_res.mean_ms * 100.0;
+    summary.add_row({std::to_string(m), io::fmt(cand_res.mean_ms, 1),
+                     io::fmt(base_res.mean_ms, 1), io::fmt_percent(improvement, 2)});
 
-    const auto hydra_ci = hydra::stats::mean_ci95(hydra_res.detection_ms);
-    const auto single_ci = hydra::stats::mean_ci95(single_res.detection_ms);
-    std::cout << "mean detection 95% CI: HYDRA [" << io::fmt(hydra_ci.lo, 0) << ", "
-              << io::fmt(hydra_ci.hi, 0) << "] ms, SingleCore [" << io::fmt(single_ci.lo, 0)
-              << ", " << io::fmt(single_ci.hi, 0) << "] ms; KS distance "
-              << io::fmt(hydra::stats::ks_statistic(hydra_cdf, single_cdf), 3)
-              << "; HYDRA stochastically dominates: "
-              << (hydra::stats::dominates(hydra_cdf, single_cdf, 0.02) ? "yes" : "no") << "\n";
+    const auto cand_ci = hydra::stats::mean_ci95(cand_res.detection_ms);
+    const auto base_ci = hydra::stats::mean_ci95(base_res.detection_ms);
+    std::cout << "mean detection 95% CI: " << candidate->name() << " ["
+              << io::fmt(cand_ci.lo, 0) << ", " << io::fmt(cand_ci.hi, 0) << "] ms, "
+              << baseline->name() << " [" << io::fmt(base_ci.lo, 0) << ", "
+              << io::fmt(base_ci.hi, 0) << "] ms; KS distance "
+              << io::fmt(hydra::stats::ks_statistic(cand_cdf, base_cdf), 3) << "; "
+              << candidate->name() << " stochastically dominates: "
+              << (hydra::stats::dominates(cand_cdf, base_cdf, 0.02) ? "yes" : "no") << "\n";
   }
 
   io::print_banner(std::cout, "Average detection-time improvement (paper: 19.81% / 27.23% / 29.75%)");
@@ -126,7 +145,7 @@ int main(int argc, char** argv) {
   } else {
     summary.print(std::cout);
   }
-  std::cout << "\nShape target: HYDRA's CDF dominates SingleCore's and the "
-               "improvement grows with the core count.\n";
+  std::cout << "\nShape target: " << candidate->name() << "'s CDF dominates "
+            << baseline->name() << "'s and the improvement grows with the core count.\n";
   return 0;
 }

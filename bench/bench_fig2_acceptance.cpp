@@ -5,6 +5,12 @@
 // 0.025·M (39 points), 250 random tasksets per point, NR ∈ [3M, 10M],
 // NS ∈ [2M, 5M], tasksets failing Eq. (1) discarded and redrawn.
 //
+// Runs on the batch ExplorationEngine: every utilization point is one
+// BatchSpec evaluated across the worker pool (--jobs), with deterministic
+// per-instance seeds, so results are identical for any thread count.  The
+// first scheme in --schemes is the candidate, the second the baseline; every
+// per-(instance, scheme) row can be captured with --out sweep.jsonl.
+//
 // NOTE on the improvement formula: the paper prints
 // (δ_SingleCore − δ_HYDRA)/δ_SingleCore × 100 %, which is negative whenever
 // HYDRA accepts more — yet its Fig. 2 shows positive values on a 0–100 axis
@@ -13,61 +19,87 @@
 // by 100), the only reading consistent with the figure; see EXPERIMENTS.md.
 //
 // Usage: bench_fig2_acceptance [--cores 2,4,8] [--tasksets 250] [--seed 7]
-//                              [--csv]
+//                              [--schemes hydra,single-core] [--jobs 1]
+//                              [--out sweep.jsonl] [--csv]
 #include <iostream>
+#include <memory>
+#include <vector>
 
-#include "core/hydra.h"
-#include "core/single_core.h"
+#include "exp/engine.h"
+#include "exp/sinks.h"
 #include "gen/synthetic.h"
 #include "io/table.h"
 #include "stats/summary.h"
 #include "util/cli.h"
 
-namespace core = hydra::core;
+namespace hexp = hydra::exp;
 namespace gen = hydra::gen;
 namespace io = hydra::io;
 
 int main(int argc, char** argv) {
   const hydra::util::CliParser cli(argc, argv);
   const auto cores = cli.get_int_list("cores", {2, 4, 8});
-  const int tasksets = static_cast<int>(cli.get_int("tasksets", 250));
+  const auto tasksets = static_cast<std::size_t>(cli.get_int("tasksets", 250));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const auto scheme_names = cli.get_string_list("schemes", {"hydra", "single-core"});
   const bool csv = cli.get_bool("csv", false);
 
-  io::print_banner(std::cout, "Fig. 2: improvement in acceptance ratio (HYDRA vs SingleCore)");
-  std::cout << tasksets << " tasksets per utilization point; 39 points per core count.\n";
+  if (scheme_names.size() != 2) {
+    std::cerr << "--schemes expects exactly two registered names "
+                 "(candidate,baseline)\n";
+    return 2;
+  }
 
-  const core::HydraAllocator hydra_alloc;
-  const core::SingleCoreAllocator single_alloc;
+  hexp::EngineOptions engine_options;
+  engine_options.schemes = scheme_names;
+  engine_options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  const hexp::ExplorationEngine engine(engine_options);
+
+  std::unique_ptr<hexp::ResultSink> file_sink;
+  std::vector<hexp::ResultSink*> sinks;
+  if (cli.has("out")) {
+    file_sink = hexp::make_file_sink(cli.get_string("out", ""));
+    sinks.push_back(file_sink.get());
+  }
+
+  io::print_banner(std::cout, "Fig. 2: improvement in acceptance ratio (" +
+                                  scheme_names[0] + " vs " + scheme_names[1] + ")");
+  std::cout << tasksets << " tasksets per utilization point; 39 points per core count.\n";
 
   for (const auto m : cores) {
     gen::SyntheticConfig config;
     config.num_cores = static_cast<std::size_t>(m);
 
-    io::Table table({"total utilization", "accept HYDRA", "accept SingleCore",
-                     "improvement (%)"});
-    hydra::util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(m));
+    io::Table table({"total utilization", "accept " + scheme_names[0],
+                     "accept " + scheme_names[1], "improvement (%)"});
 
     for (int step = 1; step <= 39; ++step) {
       const double u = 0.025 * static_cast<double>(step) * static_cast<double>(m);
-      hydra::stats::AcceptanceCounter hydra_counter, single_counter;
-      for (int rep = 0; rep < tasksets; ++rep) {
-        auto trial_rng = rng.fork();
-        const auto drawn = gen::generate_filtered_instance(config, u, trial_rng);
-        if (!drawn.has_value()) {
-          // No taskset at this utilization satisfies Eq. (1): trivially
-          // unschedulable for both schemes.
-          hydra_counter.record(false);
-          single_counter.record(false);
-          continue;
-        }
-        hydra_counter.record(hydra_alloc.allocate(drawn->instance).feasible);
-        single_counter.record(single_alloc.allocate(drawn->instance).feasible);
+
+      hexp::BatchSpec spec;
+      spec.count = tasksets;
+      spec.synthetic = config;
+      spec.total_utilization = u;
+      // Decorrelate (core count, step) pairs while staying reproducible.
+      spec.base_seed = seed + (static_cast<std::uint64_t>(m) << 32) +
+                       (static_cast<std::uint64_t>(step) << 8);
+
+      // Rows go to the caller thread in batch order; `sinks` captures the
+      // optional --out file across every point of the sweep.
+      const auto summary = engine.run(spec, sinks);
+
+      hydra::stats::AcceptanceCounter candidate, baseline;
+      for (const auto& row : summary.rows) {
+        // A "no-instance" row means Eq. (1) filtered the whole draw budget:
+        // trivially unschedulable for both schemes, as in the paper.
+        const bool accepted = row.status == "ok" && row.feasible && row.validated;
+        if (row.scheme == scheme_names[0]) candidate.record(accepted);
+        if (row.scheme == scheme_names[1]) baseline.record(accepted);
       }
       const double improvement = hydra::stats::acceptance_improvement_percent(
-          hydra_counter.ratio(), single_counter.ratio());
-      table.add_row({io::fmt(u, 3), io::fmt(hydra_counter.ratio(), 3),
-                     io::fmt(single_counter.ratio(), 3), io::fmt(improvement, 1)});
+          candidate.ratio(), baseline.ratio());
+      table.add_row({io::fmt(u, 3), io::fmt(candidate.ratio(), 3),
+                     io::fmt(baseline.ratio(), 3), io::fmt(improvement, 1)});
     }
 
     io::print_banner(std::cout, "M = " + std::to_string(m) + " cores");
@@ -77,6 +109,7 @@ int main(int argc, char** argv) {
       table.print(std::cout);
     }
   }
+  if (file_sink) file_sink->end();
 
   std::cout << "\nShape target: improvement ~0 at low utilization, rising "
                "toward 100% at high utilization (SingleCore runs out of RT "

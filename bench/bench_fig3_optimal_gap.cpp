@@ -2,18 +2,21 @@
 // the optimal (exhaustive) assignment, M = 2, NS ∈ [2, 6].
 //
 // For every schedulable instance both schemes run against the same best-fit
-// RT partition; the gap is Δη = (η_OPT − η_HYDRA)/η_OPT × 100 %.  The paper
-// reports ~0 gap at low/medium utilization, growing but bounded by ≈22 % at
-// high utilization.
+// RT partition (Allocator::allocate(instance, partition)); the gap is
+// Δη = (η_REF − η_CAND)/η_REF × 100 %.  The paper reports ~0 gap at
+// low/medium utilization, growing but bounded by ≈22 % at high utilization.
+// Defaults compare hydra against optimal; any registered pair whose placement
+// honours a shared partition works, e.g. --schemes hydra/first-fit,optimal.
 //
-// Usage: bench_fig3_optimal_gap [--tasksets 50] [--seed 11] [--csv]
+// Usage: bench_fig3_optimal_gap [--tasksets 50] [--seed 11]
+//                               [--schemes hydra,optimal] [--csv]
 //        (the paper's Fig. 3 uses M = 2; the exhaustive comparator is
 //         exponential, so per-point taskset counts are smaller than Fig. 2's)
 #include <iostream>
+#include <memory>
 #include <vector>
 
-#include "core/hydra.h"
-#include "core/optimal.h"
+#include "core/registry.h"
 #include "gen/synthetic.h"
 #include "io/table.h"
 #include "rt/partition.h"
@@ -28,19 +31,26 @@ int main(int argc, char** argv) {
   const hydra::util::CliParser cli(argc, argv);
   const int tasksets = static_cast<int>(cli.get_int("tasksets", 50));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+  const auto scheme_names = cli.get_string_list("schemes", {"hydra", "optimal"});
   const bool csv = cli.get_bool("csv", false);
 
-  io::print_banner(std::cout,
-                   "Fig. 3: HYDRA vs optimal exhaustive assignment (M = 2, NS in [2, 6])");
+  if (scheme_names.size() != 2) {
+    std::cerr << "--schemes expects exactly two registered names "
+                 "(candidate,reference)\n";
+    return 2;
+  }
+  const auto candidate = core::AllocatorRegistry::global().make(scheme_names[0]);
+  const auto reference = core::AllocatorRegistry::global().make(scheme_names[1]);
+
+  io::print_banner(std::cout, "Fig. 3: " + candidate->name() + " vs " +
+                                  reference->name() +
+                                  " exhaustive assignment (M = 2, NS in [2, 6])");
   std::cout << tasksets << " schedulable tasksets per utilization point.\n";
 
   gen::SyntheticConfig config;
   config.num_cores = 2;
   config.min_sec_per_core = 1;  // NS ∈ [2, 6] as in the paper's Fig. 3
   config.max_sec_per_core = 3;
-
-  const core::HydraAllocator hydra_alloc;
-  const core::OptimalAllocator optimal_alloc;  // SignomialScp joint periods
 
   io::Table table({"total utilization", "mean gap (%)", "max gap (%)", "samples"});
   hydra::util::Xoshiro256 rng(seed);
@@ -56,13 +66,13 @@ int main(int argc, char** argv) {
       if (!drawn.has_value()) break;  // utilization point structurally hopeless
       const auto partition = hydra::rt::partition_rt_tasks(drawn->instance.rt_tasks, 2);
       if (!partition.has_value()) continue;
-      const auto h = hydra_alloc.allocate(drawn->instance, *partition);
-      if (!h.feasible) continue;  // the paper compares on schedulable sets
-      const auto o = optimal_alloc.allocate(drawn->instance, *partition);
-      if (!o.feasible) continue;  // cannot happen if HYDRA succeeded; guard anyway
-      const double eta_h = h.cumulative_tightness(drawn->instance.security_tasks);
-      const double eta_o = o.cumulative_tightness(drawn->instance.security_tasks);
-      gaps.push_back(hydra::stats::gap_percent(eta_o, eta_h));
+      const auto c = candidate->allocate(drawn->instance, *partition);
+      if (!c.feasible) continue;  // the paper compares on schedulable sets
+      const auto r = reference->allocate(drawn->instance, *partition);
+      if (!r.feasible) continue;  // cannot happen if the candidate succeeded; guard anyway
+      const double eta_c = c.cumulative_tightness(drawn->instance.security_tasks);
+      const double eta_r = r.cumulative_tightness(drawn->instance.security_tasks);
+      gaps.push_back(hydra::stats::gap_percent(eta_r, eta_c));
     }
     if (gaps.empty()) {
       table.add_row({io::fmt(u, 3), "-", "-", "0"});

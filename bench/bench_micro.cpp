@@ -9,6 +9,7 @@
 #include "core/optimal.h"
 #include "core/period_adaptation.h"
 #include "core/single_core.h"
+#include "exp/engine.h"
 #include "gen/randfixedsum.h"
 #include "gen/synthetic.h"
 #include "gen/uav.h"
@@ -143,5 +144,38 @@ static void BM_SimulateUavSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateUavSecond)->Unit(benchmark::kMicrosecond);
+
+static void BM_ExplorationEngineBatch(benchmark::State& state) {
+  // A 100-instance synthetic sweep (M = 4, mid utilization) through the batch
+  // engine, Arg = worker threads.  Results are identical for every thread
+  // count (tested); this benchmark measures the wall-clock scaling, so the
+  // jobs=8 row against jobs=1 is the engine's parallel speedup.
+  hydra::exp::BatchSpec spec;
+  spec.count = 100;
+  spec.synthetic.num_cores = 4;
+  spec.total_utilization = 2.0;
+  spec.base_seed = 9;
+
+  hydra::exp::EngineOptions options;
+  options.schemes = {"hydra", "single-core"};
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  const hydra::exp::ExplorationEngine engine(options);
+
+  std::size_t feasible = 0;
+  for (auto _ : state) {
+    const auto summary = engine.run(spec);
+    feasible += summary.feasible;
+    benchmark::DoNotOptimize(feasible);
+  }
+  state.counters["feasible"] =
+      static_cast<double>(feasible) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ExplorationEngineBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

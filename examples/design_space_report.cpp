@@ -2,21 +2,46 @@
 // strategy on a workload and print the designer-facing comparison — which
 // scheme to pick, what it costs, and where each monitor lands.
 //
-// Usage: ./build/examples/design_space_report [--cores 2]
-//        ./build/examples/design_space_report --file taskset.txt
+// By default the paper's line-up runs (HYDRA, HYDRA(exact-RTA), SingleCore,
+// Optimal-when-affordable).  --schemes switches to any registry selection,
+// --list-schemes prints the catalog, and --out streams the comparison rows to
+// a .jsonl/.csv file via the exploration sinks.
+//
+// Usage: ./build/design_space_report [--cores 2]
+//        ./build/design_space_report --file taskset.txt
+//        ./build/design_space_report --schemes hydra,hydra/first-fit,optimal
+//                                    --out report.jsonl
+//        ./build/design_space_report --list-schemes
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "core/design_space.h"
+#include "core/registry.h"
+#include "exp/sinks.h"
 #include "gen/uav.h"
 #include "io/table.h"
 #include "io/taskset_io.h"
 #include "util/cli.h"
 
 namespace core = hydra::core;
+namespace hexp = hydra::exp;
 namespace io = hydra::io;
 
 int main(int argc, char** argv) {
   const hydra::util::CliParser cli(argc, argv);
+
+  if (cli.get_bool("list-schemes", false)) {
+    io::print_banner(std::cout, "registered allocation schemes");
+    io::Table catalog({"name", "description"});
+    const auto& registry = core::AllocatorRegistry::global();
+    for (const auto& name : registry.names()) {
+      catalog.add_row({name, registry.description(name)});
+    }
+    catalog.print(std::cout);
+    return 0;
+  }
+
   core::Instance instance;
   if (cli.has("file")) {
     instance = io::load_instance(cli.get_string("file", ""));
@@ -24,7 +49,10 @@ int main(int argc, char** argv) {
     instance = hydra::gen::uav_case_study(static_cast<std::size_t>(cli.get_int("cores", 2)));
   }
 
-  const auto report = core::explore_design_space(instance);
+  const auto report =
+      cli.has("schemes")
+          ? core::explore_design_space(instance, cli.get_string_list("schemes", {}))
+          : core::explore_design_space(instance);
 
   io::print_banner(std::cout, "design-space comparison");
   io::Table table({"scheme", "feasible", "validated", "cumulative tightness",
@@ -43,6 +71,26 @@ int main(int argc, char** argv) {
                    p.allocation.feasible ? std::to_string(cores_used) : "-"});
   }
   table.print(std::cout);
+
+  if (cli.has("out")) {
+    const auto sink = hexp::make_file_sink(cli.get_string("out", ""));
+    sink->begin();
+    for (const auto& p : report.points) {
+      hexp::BatchRow row;
+      row.instance_label = cli.has("file") ? cli.get_string("file", "") : "uav-case-study";
+      row.scheme = p.scheme;
+      row.feasible = p.allocation.feasible;
+      row.validated = p.validated;
+      row.cumulative_tightness = p.cumulative_tightness;
+      row.normalized_tightness = p.normalized_tightness;
+      row.note = p.allocation.feasible
+                     ? (p.validated ? std::string() : p.validation_problem)
+                     : p.allocation.failure_reason;
+      sink->row(row);
+    }
+    sink->end();
+    std::cout << "\nrows written to " << cli.get_string("out", "") << "\n";
+  }
 
   const auto best = report.best_index();
   if (!best.has_value()) {

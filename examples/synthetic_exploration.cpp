@@ -3,79 +3,99 @@
 // ratio and achieved tightness degrade — the workflow a system designer would
 // run before committing to a security-integration architecture.
 //
-// Usage: ./build/examples/synthetic_exploration [--cores 4] [--tasksets 50]
-//                                               [--seed 21]
+// Built on the batch ExplorationEngine: each utilization point is a BatchSpec
+// with deterministic per-instance seeds, evaluated across --jobs worker
+// threads for any registry scheme selection; --out captures every
+// per-(instance, scheme) row as JSONL or CSV for offline analysis.
+//
+// Usage: ./build/synthetic_exploration [--cores 4] [--tasksets 50] [--seed 21]
+//                                      [--schemes hydra,single-core] [--jobs 4]
+//                                      [--out sweep.jsonl]
 #include <iostream>
+#include <map>
+#include <memory>
 #include <vector>
 
-#include "core/hydra.h"
-#include "core/single_core.h"
+#include "exp/engine.h"
+#include "exp/sinks.h"
 #include "gen/synthetic.h"
 #include "io/table.h"
-#include "sec/tightness.h"
 #include "stats/summary.h"
 #include "util/cli.h"
 
-namespace core = hydra::core;
+namespace hexp = hydra::exp;
 namespace gen = hydra::gen;
 namespace io = hydra::io;
 
 int main(int argc, char** argv) {
   const hydra::util::CliParser cli(argc, argv);
   const auto m = static_cast<std::size_t>(cli.get_int("cores", 4));
-  const int tasksets = static_cast<int>(cli.get_int("tasksets", 50));
+  const auto tasksets = static_cast<std::size_t>(cli.get_int("tasksets", 50));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
+  const auto scheme_names = cli.get_string_list("schemes", {"hydra", "single-core"});
+
+  hexp::EngineOptions engine_options;
+  engine_options.schemes = scheme_names;
+  engine_options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  const hexp::ExplorationEngine engine(engine_options);
+
+  std::unique_ptr<hexp::ResultSink> file_sink;
+  std::vector<hexp::ResultSink*> sinks;
+  if (cli.has("out")) {
+    file_sink = hexp::make_file_sink(cli.get_string("out", ""));
+    sinks.push_back(file_sink.get());
+  }
 
   gen::SyntheticConfig config;
   config.num_cores = m;
 
   io::print_banner(std::cout, "Design-space sweep on M = " + std::to_string(m) +
                                   " cores (" + std::to_string(tasksets) +
-                                  " tasksets per point)");
-  io::Table table({"utilization", "HYDRA accept", "HYDRA tightness", "SingleCore accept",
-                   "SingleCore tightness"});
-
-  const core::HydraAllocator hydra_alloc;
-  const core::SingleCoreAllocator single_alloc;
+                                  " tasksets per point, " +
+                                  std::to_string(scheme_names.size()) + " schemes)");
+  std::vector<std::string> headers = {"utilization"};
+  for (const auto& name : scheme_names) {
+    headers.push_back(name + " accept");
+    headers.push_back(name + " tightness");
+  }
+  io::Table table(headers);
 
   for (int step = 2; step <= 18; step += 2) {
     const double u = 0.05 * static_cast<double>(step) * static_cast<double>(m);
-    hydra::util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(step));
-    hydra::stats::AcceptanceCounter hydra_counter, single_counter;
-    std::vector<double> hydra_tightness, single_tightness;
 
-    for (int rep = 0; rep < tasksets; ++rep) {
-      auto trial_rng = rng.fork();
-      const auto drawn = gen::generate_filtered_instance(config, u, trial_rng);
-      if (!drawn.has_value()) {
-        hydra_counter.record(false);
-        single_counter.record(false);
-        continue;
-      }
-      const auto& inst = drawn->instance;
-      const double upper = hydra::sec::max_cumulative_tightness(inst.security_tasks);
+    hexp::BatchSpec spec;
+    spec.count = tasksets;
+    spec.synthetic = config;
+    spec.total_utilization = u;
+    spec.base_seed = seed + static_cast<std::uint64_t>(step);
 
-      const auto h = hydra_alloc.allocate(inst);
-      hydra_counter.record(h.feasible);
-      if (h.feasible) hydra_tightness.push_back(h.cumulative_tightness(inst.security_tasks) / upper);
+    const auto summary = engine.run(spec, sinks);
 
-      const auto sc = single_alloc.allocate(inst);
-      single_counter.record(sc.feasible);
-      if (sc.feasible) {
-        single_tightness.push_back(sc.cumulative_tightness(inst.security_tasks) / upper);
-      }
+    // Per-scheme acceptance and mean normalized tightness over the batch.
+    std::map<std::string, hydra::stats::AcceptanceCounter> accept;
+    std::map<std::string, std::vector<double>> tightness;
+    for (const auto& row : summary.rows) {
+      const bool accepted = row.status == "ok" && row.feasible && row.validated;
+      accept[row.scheme].record(accepted);
+      if (accepted) tightness[row.scheme].push_back(row.normalized_tightness);
     }
 
-    const auto mean_or_dash = [](const std::vector<double>& v) {
-      return v.empty() ? std::string("-") : io::fmt(hydra::stats::summarize(v).mean, 3);
-    };
-    table.add_row({io::fmt(u, 2), io::fmt(hydra_counter.ratio(), 2),
-                   mean_or_dash(hydra_tightness), io::fmt(single_counter.ratio(), 2),
-                   mean_or_dash(single_tightness)});
+    std::vector<std::string> cells = {io::fmt(u, 2)};
+    for (const auto& name : scheme_names) {
+      const auto& t = tightness[name];
+      cells.push_back(io::fmt(accept[name].ratio(), 2));
+      cells.push_back(t.empty() ? std::string("-")
+                                : io::fmt(hydra::stats::summarize(t).mean, 3));
+    }
+    table.add_row(std::move(cells));
   }
   table.print(std::cout);
 
   std::cout << "\ntightness columns are normalized by the upper bound (every "
                "monitor at its desired rate = 1.0).\n";
+  if (cli.has("out")) {
+    std::cout << "per-(instance, scheme) rows written to " << cli.get_string("out", "")
+              << ".\n";
+  }
   return 0;
 }

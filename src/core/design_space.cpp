@@ -1,35 +1,12 @@
 #include "core/design_space.h"
 
 #include <cmath>
+#include <exception>
+#include <limits>
 
-#include "core/validation.h"
-#include "sec/tightness.h"
+#include "core/registry.h"
 
 namespace hydra::core {
-
-namespace {
-
-DesignPoint evaluate(std::string scheme, const Instance& instance, Allocation allocation,
-                     util::Millis blocking,
-                     const std::optional<std::vector<std::size_t>>& priority_order,
-                     ScheduleTest test) {
-  DesignPoint point;
-  point.scheme = std::move(scheme);
-  point.allocation = std::move(allocation);
-  if (point.allocation.feasible) {
-    point.cumulative_tightness =
-        point.allocation.cumulative_tightness(instance.security_tasks);
-    const double upper = sec::max_cumulative_tightness(instance.security_tasks);
-    point.normalized_tightness = upper > 0.0 ? point.cumulative_tightness / upper : 0.0;
-    const auto report =
-        validate_allocation(instance, point.allocation, blocking, priority_order, test);
-    point.validated = report.valid;
-    point.validation_problem = report.problem;
-  }
-  return point;
-}
-
-}  // namespace
 
 std::optional<std::size_t> ExplorationReport::best_index() const {
   std::optional<std::size_t> best;
@@ -50,38 +27,31 @@ bool ExplorationReport::any_feasible() const {
   return false;
 }
 
-ExplorationReport explore_design_space(const Instance& instance,
-                                       const ExplorationOptions& options) {
-  instance.validate();
-  ExplorationReport report;
+std::vector<std::unique_ptr<Allocator>> paper_scheme_lineup(
+    const Instance& instance, const ExplorationOptions& options) {
+  std::vector<std::unique_ptr<Allocator>> schemes;
 
   // 1. HYDRA in the caller's configuration (paper defaults unless changed).
   {
-    const HydraAllocator allocator(options.hydra);
-    const ScheduleTest test = options.hydra.solver == PeriodSolver::kExactRta
-                                  ? ScheduleTest::kExactRta
-                                  : ScheduleTest::kLinearBound;
-    report.points.push_back(evaluate("HYDRA", instance, allocator.allocate(instance),
-                                     options.hydra.blocking, options.hydra.priority_order,
-                                     test));
+    auto allocator = std::make_unique<HydraAllocator>(options.hydra);
+    allocator->set_name("HYDRA");
+    schemes.push_back(std::move(allocator));
   }
 
   // 2. HYDRA with exact RTA (skipped when the caller already asked for it).
   if (options.hydra.solver != PeriodSolver::kExactRta) {
     HydraOptions exact = options.hydra;
     exact.solver = PeriodSolver::kExactRta;
-    const HydraAllocator allocator(exact);
-    report.points.push_back(evaluate("HYDRA(exact-RTA)", instance,
-                                     allocator.allocate(instance), exact.blocking,
-                                     exact.priority_order, ScheduleTest::kExactRta));
+    auto allocator = std::make_unique<HydraAllocator>(exact);
+    allocator->set_name("HYDRA(exact-RTA)");
+    schemes.push_back(std::move(allocator));
   }
 
   // 3. SingleCore (needs a spare core).
   if (instance.num_cores >= 2) {
-    const SingleCoreAllocator allocator(options.single_core);
-    report.points.push_back(evaluate("SingleCore", instance, allocator.allocate(instance),
-                                     options.single_core.blocking, std::nullopt,
-                                     ScheduleTest::kLinearBound));
+    auto allocator = std::make_unique<SingleCoreAllocator>(options.single_core);
+    allocator->set_name("SingleCore");
+    schemes.push_back(std::move(allocator));
   }
 
   // 4. Optimal, when the enumeration fits the budget.
@@ -91,10 +61,43 @@ ExplorationReport explore_design_space(const Instance& instance,
     if (combos <= static_cast<double>(options.optimal_budget)) {
       OptimalOptions opt = options.optimal;
       opt.max_assignments = options.optimal_budget;
-      const OptimalAllocator allocator(opt);
-      report.points.push_back(evaluate("Optimal", instance, allocator.allocate(instance),
-                                       opt.joint.blocking, std::nullopt,
-                                       ScheduleTest::kLinearBound));
+      auto allocator = std::make_unique<OptimalAllocator>(opt);
+      allocator->set_name("Optimal");
+      schemes.push_back(std::move(allocator));
+    }
+  }
+  return schemes;
+}
+
+ExplorationReport explore_design_space(const Instance& instance,
+                                       const ExplorationOptions& options) {
+  instance.validate();
+  ExplorationReport report;
+  for (const auto& scheme : paper_scheme_lineup(instance, options)) {
+    report.points.push_back(evaluate_scheme(*scheme, instance));
+  }
+  return report;
+}
+
+ExplorationReport explore_design_space(const Instance& instance,
+                                       const std::vector<std::string>& schemes) {
+  instance.validate();
+  ExplorationReport report;
+  const auto& registry = AllocatorRegistry::global();
+  for (const auto& name : schemes) {
+    const auto scheme = registry.make(name);  // unknown names still throw
+    try {
+      report.points.push_back(evaluate_scheme(*scheme, instance));
+    } catch (const std::exception& e) {
+      // E.g. the exhaustive optimal tripping its enumeration cap on a large
+      // instance: report the scheme as infeasible instead of losing the
+      // whole comparison.
+      DesignPoint point;
+      point.scheme = name;
+      point.allocation = infeasible_allocation(
+          std::numeric_limits<std::size_t>::max(),
+          std::string("evaluation failed: ") + e.what());
+      report.points.push_back(std::move(point));
     }
   }
   return report;

@@ -4,31 +4,25 @@
 // tasks to a single core — we are able to provide valuable hints to designers
 // on how to build security into such systems."
 //
-// Given one instance, evaluates every applicable allocation scheme, collects
-// feasibility / tightness / per-task placements, and emits machine-checkable
-// results plus a human-readable comparison (io::Table-ready rows).
+// `explore_design_space` is now a thin single-instance convenience over the
+// pluggable allocation API (core/allocator.h + core/registry.h): it builds
+// the paper's scheme line-up, runs `evaluate_scheme` on each, and collects
+// the comparison.  Batch sweeps over many instances — with worker threads and
+// streaming sinks — live in exp/engine.h.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/allocator.h"
 #include "core/hydra.h"
 #include "core/instance.h"
 #include "core/optimal.h"
 #include "core/single_core.h"
 
 namespace hydra::core {
-
-/// One evaluated design point.
-struct DesignPoint {
-  std::string scheme;            ///< e.g. "HYDRA", "SingleCore", "Optimal"
-  Allocation allocation;         ///< the scheme's result
-  double cumulative_tightness = 0.0;  ///< Σ ω·η (0 when infeasible)
-  double normalized_tightness = 0.0;  ///< divided by Σ ω (1.0 = every monitor at Tdes)
-  bool validated = false;        ///< passed the independent checker
-  std::string validation_problem;
-};
 
 struct ExplorationOptions {
   HydraOptions hydra;
@@ -49,9 +43,22 @@ struct ExplorationReport {
   bool any_feasible() const;
 };
 
+/// The paper's scheme line-up for one instance, each entry ready for
+/// `evaluate_scheme`: HYDRA in the caller's configuration, HYDRA with exact
+/// RTA (unless already requested), SingleCore (when M >= 2), and Optimal
+/// (when M^NS fits the budget).  Exposed so callers can inspect or extend the
+/// line-up before evaluating.
+std::vector<std::unique_ptr<Allocator>> paper_scheme_lineup(
+    const Instance& instance, const ExplorationOptions& options = {});
+
 /// Evaluates HYDRA (paper configuration), HYDRA with exact RTA, SingleCore,
 /// and — when affordable — the exhaustive Optimal on `instance`.
 ExplorationReport explore_design_space(const Instance& instance,
                                        const ExplorationOptions& options = {});
+
+/// Evaluates the registry schemes named in `schemes` (e.g. {"hydra",
+/// "single-core", "optimal"}) on `instance`.  Unknown names throw.
+ExplorationReport explore_design_space(const Instance& instance,
+                                       const std::vector<std::string>& schemes);
 
 }  // namespace hydra::core

@@ -130,4 +130,25 @@ Allocation HydraAllocator::allocate(const Instance& instance) const {
   return allocate(instance, *partition);
 }
 
+std::string HydraAllocator::describe() const {
+  std::string text = "greedy joint allocation + period adaptation (Algorithm 1); ";
+  switch (options_.solver) {
+    case PeriodSolver::kClosedForm: text += "closed-form subproblem"; break;
+    case PeriodSolver::kGeometricProgram: text += "GP subproblem"; break;
+    case PeriodSolver::kExactRta: text += "exact-RTA subproblem"; break;
+  }
+  switch (options_.core_pick) {
+    case CorePick::kMaxTightness: break;  // the paper's rule; not worth naming
+    case CorePick::kFirstFeasible: text += "; first-fit core pick"; break;
+    case CorePick::kLeastLoaded: text += "; least-loaded core pick"; break;
+    case CorePick::kWorstTightness: text += "; worst-tightness core pick (ablation)"; break;
+  }
+  if (options_.core_pick == CorePick::kMaxTightness &&
+      options_.tie_break == TieBreak::kLowestIndex) {
+    text += "; lowest-index tie break";
+  }
+  if (options_.non_preemptive_security) text += "; non-preemptive security";
+  return text;
+}
+
 }  // namespace hydra::core

@@ -18,6 +18,9 @@
 //                     tasks (paper §V future work).
 #pragma once
 
+#include <string>
+
+#include "core/allocator.h"
 #include "core/instance.h"
 #include "core/period_adaptation.h"
 #include "rt/partition.h"
@@ -57,18 +60,30 @@ struct HydraOptions {
   std::optional<std::vector<std::size_t>> priority_order;
 };
 
-class HydraAllocator {
+class HydraAllocator : public Allocator {
  public:
-  explicit HydraAllocator(HydraOptions options = {}) : options_(options) {}
+  explicit HydraAllocator(HydraOptions options = {})
+      : Allocator("hydra"), options_(options) {}
 
   /// Runs Algorithm 1 against an externally supplied RT partition over all M
   /// cores (the paper's input `I`).
-  Allocation allocate(const Instance& instance, const rt::Partition& rt_partition) const;
+  Allocation allocate(const Instance& instance,
+                      const rt::Partition& rt_partition) const override;
 
   /// Convenience overload matching the paper's evaluation setup: partitions
   /// the RT tasks over all M cores with best-fit first, then runs HYDRA.
   /// Infeasible if the RT tasks alone cannot be partitioned.
-  Allocation allocate(const Instance& instance) const;
+  Allocation allocate(const Instance& instance) const override;
+
+  std::string describe() const override;
+  ScheduleTest schedule_test() const override {
+    return options_.solver == PeriodSolver::kExactRta ? ScheduleTest::kExactRta
+                                                      : ScheduleTest::kLinearBound;
+  }
+  util::Millis blocking() const override { return options_.blocking; }
+  std::optional<std::vector<std::size_t>> priority_order() const override {
+    return options_.priority_order;
+  }
 
   const HydraOptions& options() const { return options_; }
 

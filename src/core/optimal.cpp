@@ -1,5 +1,6 @@
 #include "core/optimal.h"
 
+#include <cmath>
 #include <limits>
 
 #include "util/contracts.h"
@@ -64,6 +65,22 @@ Allocation OptimalAllocator::allocate(const Instance& instance) const {
                                  "RT tasks cannot be partitioned on M cores");
   }
   return allocate(instance, *partition);
+}
+
+double OptimalAllocator::search_space(const Instance& instance) const {
+  return std::pow(static_cast<double>(instance.num_cores),
+                  static_cast<double>(instance.security_tasks.size()));
+}
+
+std::string OptimalAllocator::describe() const {
+  std::string objective;
+  switch (options_.joint.objective) {
+    case JointObjective::kSumSurrogate: objective = "sum-surrogate GP"; break;
+    case JointObjective::kLogUtility: objective = "log-utility GP"; break;
+    case JointObjective::kSignomialScp: objective = "signomial SCP"; break;
+  }
+  return "exhaustive M^NS assignment search with joint period optimization (" +
+         objective + ")";
 }
 
 }  // namespace hydra::core

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
+#include "core/allocator.h"
 #include "core/instance.h"
 #include "core/joint_period.h"
 #include "rt/partition.h"
@@ -19,16 +21,25 @@ struct OptimalOptions {
   std::size_t max_assignments = 1u << 20;
 };
 
-class OptimalAllocator {
+class OptimalAllocator : public Allocator {
  public:
-  explicit OptimalAllocator(OptimalOptions options = {}) : options_(options) {}
+  explicit OptimalAllocator(OptimalOptions options = {})
+      : Allocator("optimal"), options_(options) {}
 
   /// Exhaustive search against an externally supplied RT partition (same
   /// contract as HydraAllocator::allocate).
-  Allocation allocate(const Instance& instance, const rt::Partition& rt_partition) const;
+  Allocation allocate(const Instance& instance,
+                      const rt::Partition& rt_partition) const override;
 
   /// Best-fit-partitions the RT tasks over all M cores first.
-  Allocation allocate(const Instance& instance) const;
+  Allocation allocate(const Instance& instance) const override;
+
+  std::string describe() const override;
+  util::Millis blocking() const override { return options_.joint.blocking; }
+  /// M^NS: the number of assignments the exhaustive search enumerates.
+  double search_space(const Instance& instance) const override;
+
+  const OptimalOptions& options() const { return options_; }
 
  private:
   OptimalOptions options_;

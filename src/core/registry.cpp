@@ -1,0 +1,142 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+#include "core/hydra.h"
+#include "core/optimal.h"
+#include "core/single_core.h"
+
+namespace hydra::core {
+
+void AllocatorRegistry::add(std::string name, std::string description, Factory factory) {
+  if (name.empty()) throw std::invalid_argument("registry: empty scheme name");
+  if (!factory) throw std::invalid_argument("registry: null factory for '" + name + "'");
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("registry: duplicate scheme name '" + name + "'");
+  }
+  entries_.push_back({std::move(name), std::move(description), std::move(factory)});
+}
+
+bool AllocatorRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const AllocatorRegistry::Entry* AllocatorRegistry::find(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Allocator> AllocatorRegistry::make(const std::string& name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const auto& e : entries_) {
+      if (!known.empty()) known += ", ";
+      known += e.name;
+    }
+    throw std::invalid_argument("unknown allocation scheme '" + name +
+                                "' (registered: " + known + ")");
+  }
+  auto allocator = entry->factory();
+  allocator->set_name(entry->name);
+  return allocator;
+}
+
+std::vector<std::unique_ptr<Allocator>> AllocatorRegistry::make_all(
+    const std::vector<std::string>& names) const {
+  if (names.empty()) {
+    throw std::invalid_argument("scheme selection names no schemes");
+  }
+  std::vector<std::unique_ptr<Allocator>> allocators;
+  allocators.reserve(names.size());
+  for (const auto& name : names) {
+    allocators.push_back(make(name));
+  }
+  return allocators;
+}
+
+std::vector<std::string> AllocatorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+const std::string& AllocatorRegistry::description(const std::string& name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown allocation scheme '" + name + "'");
+  }
+  return entry->description;
+}
+
+namespace {
+
+AllocatorRegistry build_global() {
+  AllocatorRegistry registry;
+  registry.add("hydra", "HYDRA, paper defaults (Algorithm 1, closed-form Eq. 7)",
+               [] { return std::make_unique<HydraAllocator>(); });
+  registry.add("hydra/gp", "HYDRA with the paper's GP subproblem solver", [] {
+    HydraOptions options;
+    options.solver = PeriodSolver::kGeometricProgram;
+    return std::make_unique<HydraAllocator>(options);
+  });
+  registry.add("hydra/exact-rta",
+               "HYDRA with exact response-time analysis (tighter periods)", [] {
+                 HydraOptions options;
+                 options.solver = PeriodSolver::kExactRta;
+                 return std::make_unique<HydraAllocator>(options);
+               });
+  registry.add("hydra/first-fit",
+               "ablation: first feasible core instead of argmax tightness", [] {
+                 HydraOptions options;
+                 options.core_pick = CorePick::kFirstFeasible;
+                 return std::make_unique<HydraAllocator>(options);
+               });
+  registry.add("hydra/least-loaded", "ablation: least-loaded feasible core", [] {
+    HydraOptions options;
+    options.core_pick = CorePick::kLeastLoaded;
+    return std::make_unique<HydraAllocator>(options);
+  });
+  registry.add("hydra/worst-tightness",
+               "ablation: adversarial argmin-tightness core pick", [] {
+                 HydraOptions options;
+                 options.core_pick = CorePick::kWorstTightness;
+                 return std::make_unique<HydraAllocator>(options);
+               });
+  registry.add("hydra/tie=lowest-index",
+               "ablation: lowest-index tie break (default spreads load)", [] {
+                 HydraOptions options;
+                 options.tie_break = TieBreak::kLowestIndex;
+                 return std::make_unique<HydraAllocator>(options);
+               });
+  registry.add("single-core", "all security tasks isolated on a dedicated core",
+               [] { return std::make_unique<SingleCoreAllocator>(); });
+  registry.add("single-core/joint",
+               "single-core with joint GP refinement of the dedicated core", [] {
+                 SingleCoreOptions options;
+                 options.joint_refinement = true;
+                 return std::make_unique<SingleCoreAllocator>(options);
+               });
+  registry.add("optimal",
+               "exhaustive assignment search, signomial SCP joint periods",
+               [] { return std::make_unique<OptimalAllocator>(); });
+  registry.add("optimal/sum-surrogate",
+               "exhaustive assignment search, sum-surrogate GP objective", [] {
+                 OptimalOptions options;
+                 options.joint.objective = JointObjective::kSumSurrogate;
+                 return std::make_unique<OptimalAllocator>(options);
+               });
+  return registry;
+}
+
+}  // namespace
+
+AllocatorRegistry& AllocatorRegistry::global() {
+  static AllocatorRegistry registry = build_global();
+  return registry;
+}
+
+}  // namespace hydra::core

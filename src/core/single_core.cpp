@@ -71,4 +71,19 @@ Allocation SingleCoreAllocator::allocate(const Instance& instance) const {
   return result;
 }
 
+Allocation SingleCoreAllocator::allocate(const Instance& instance,
+                                         const rt::Partition& /*rt_partition*/) const {
+  // The dedicated-core policy fixes the partition shape itself (see header).
+  return allocate(instance);
+}
+
+std::string SingleCoreAllocator::describe() const {
+  std::string text = "dedicated security core (RT on M-1 cores, security on core M-1); ";
+  text += options_.solver == PeriodSolver::kGeometricProgram ? "GP subproblem"
+                                                             : "closed-form subproblem";
+  if (options_.joint_refinement) text += "; joint GP refinement of the dedicated core";
+  if (options_.blocking > 0.0) text += "; blocking accounted";
+  return text;
+}
+
 }  // namespace hydra::core

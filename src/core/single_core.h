@@ -10,6 +10,9 @@
 // similar to the one described in the Appendix") is available as an option.
 #pragma once
 
+#include <string>
+
+#include "core/allocator.h"
 #include "core/instance.h"
 #include "core/period_adaptation.h"
 
@@ -23,14 +26,24 @@ struct SingleCoreOptions {
   util::Millis blocking = 0.0;
 };
 
-class SingleCoreAllocator {
+class SingleCoreAllocator : public Allocator {
  public:
-  explicit SingleCoreAllocator(SingleCoreOptions options = {}) : options_(options) {}
+  explicit SingleCoreAllocator(SingleCoreOptions options = {})
+      : Allocator("single-core"), options_(options) {}
 
   /// Requires M >= 2 (one core must remain for the RT workload).
   /// Infeasible when the RT tasks cannot be packed on M−1 cores or some
   /// security task admits no acceptable period on the dedicated core.
-  Allocation allocate(const Instance& instance) const;
+  Allocation allocate(const Instance& instance) const override;
+
+  /// SingleCore's placement policy *is* its partition (RT on cores 0..M−2,
+  /// security on core M−1), so the externally supplied hint is ignored and
+  /// the scheme re-partitions; shared-partition comparisons should exclude it.
+  Allocation allocate(const Instance& instance,
+                      const rt::Partition& rt_partition) const override;
+
+  std::string describe() const override;
+  util::Millis blocking() const override { return options_.blocking; }
 
   const SingleCoreOptions& options() const { return options_; }
 

@@ -1,0 +1,260 @@
+#include "exp/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/registry.h"
+
+namespace hydra::exp {
+
+namespace {
+
+using SchemeSet = std::vector<std::unique_ptr<core::Allocator>>;
+
+SchemeSet make_schemes(const std::vector<std::string>& names) {
+  return core::AllocatorRegistry::global().make_all(names);
+}
+
+/// Evaluates every scheme on one batch item.  Pure function of the item (and
+/// the spec), which is what makes the engine's output independent of worker
+/// count and scheduling order.
+std::vector<BatchRow> evaluate_item(const BatchSpec& spec, const BatchItem& item,
+                                    const core::Instance* preloaded,
+                                    const SchemeSet& schemes,
+                                    std::size_t optimal_budget) {
+  std::vector<BatchRow> rows;
+  rows.reserve(schemes.size());
+
+  BatchRow base;
+  base.instance_index = item.index;
+  base.instance_label = item.label;
+  base.seed = item.seed;
+
+  MaterializedItem materialized;
+  const core::Instance* instance = preloaded;
+  if (instance == nullptr) {
+    materialized = materialize(spec, item);
+    if (materialized.instance.has_value()) instance = &*materialized.instance;
+    base.rt_utilization = materialized.rt_utilization;
+    base.sec_utilization = materialized.sec_utilization;
+  }
+
+  if (instance == nullptr) {
+    for (const auto& scheme : schemes) {
+      BatchRow row = base;
+      row.scheme = scheme->name();
+      row.status = "no-instance";
+      row.note = materialized.error;
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+
+  // Cheap schemes report search_space 1, so a budget of 0 (or 1) still runs
+  // them while skipping every exhaustive scheme.
+  const double budget = static_cast<double>(std::max<std::size_t>(optimal_budget, 1));
+  for (const auto& scheme : schemes) {
+    BatchRow row = base;
+    row.scheme = scheme->name();
+    if (scheme->search_space(*instance) > budget) {
+      row.status = "skipped";
+      row.note = "search space exceeds the engine budget of " +
+                 std::to_string(optimal_budget);
+      rows.push_back(std::move(row));
+      continue;
+    }
+    try {
+      const auto point = core::evaluate_scheme(*scheme, *instance);
+      row.feasible = point.allocation.feasible;
+      row.validated = point.validated;
+      row.cumulative_tightness = point.cumulative_tightness;
+      row.normalized_tightness = point.normalized_tightness;
+      if (!point.allocation.feasible) {
+        row.note = point.allocation.failure_reason;
+      } else if (!point.validated) {
+        row.note = point.validation_problem;
+      }
+    } catch (const std::exception& e) {
+      row.status = "error";
+      row.note = e.what();
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// evaluate_item with a last-resort catch: a throw outside the per-scheme try
+/// (materialization preconditions, allocation failure) becomes one "error"
+/// row per scheme instead of escaping — essential on worker threads, where an
+/// escaped exception would terminate the process.
+std::vector<BatchRow> evaluate_item_safe(const BatchSpec& spec, const BatchItem& item,
+                                         const core::Instance* preloaded,
+                                         const SchemeSet& schemes,
+                                         std::size_t optimal_budget) {
+  try {
+    return evaluate_item(spec, item, preloaded, schemes, optimal_budget);
+  } catch (const std::exception& e) {
+    std::vector<BatchRow> rows;
+    rows.reserve(schemes.size());
+    for (const auto& scheme : schemes) {
+      BatchRow row;
+      row.instance_index = item.index;
+      row.instance_label = item.label;
+      row.seed = item.seed;
+      row.scheme = scheme->name();
+      row.status = "error";
+      row.note = e.what();
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+}
+
+/// Joins every still-joinable worker on scope exit, so an exception on the
+/// coordinating thread (e.g. a sink throwing mid-emission) cannot reach
+/// std::thread's terminate-on-destruction.  Workers always drain the shared
+/// counter, so the join completes.
+struct JoinGuard {
+  std::vector<std::thread>& workers;
+  ~JoinGuard() {
+    for (auto& worker : workers) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+};
+
+}  // namespace
+
+ExplorationEngine::ExplorationEngine(EngineOptions options) : options_(std::move(options)) {
+  if (options_.schemes.empty()) {
+    throw std::invalid_argument("exploration engine needs at least one scheme");
+  }
+  // Fail on typos before any work is scheduled (make throws on unknown names).
+  make_schemes(options_.schemes);
+}
+
+RunSummary ExplorationEngine::run(const BatchSpec& spec,
+                                  const std::vector<ResultSink*>& sinks) const {
+  const auto started = std::chrono::steady_clock::now();
+  const auto items = enumerate(spec);
+
+  RunSummary summary;
+  summary.instances = items.size();
+  for (auto* sink : sinks) sink->begin();
+
+  const auto emit = [&](std::vector<BatchRow> rows) {
+    for (auto& row : rows) {
+      if (row.status == "ok") {
+        ++summary.evaluated;
+        if (row.feasible && row.validated) ++summary.feasible;
+      } else if (row.status == "skipped") {
+        ++summary.skipped;
+      } else {
+        ++summary.errors;
+      }
+      for (auto* sink : sinks) sink->row(row);
+      summary.rows.push_back(std::move(row));
+    }
+  };
+
+  std::size_t jobs = options_.jobs;
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  jobs = std::min(jobs, std::max<std::size_t>(1, items.size()));
+
+  if (jobs <= 1) {
+    const auto schemes = make_schemes(options_.schemes);
+    for (const auto& item : items) {
+      emit(evaluate_item_safe(spec, item, nullptr, schemes, options_.optimal_budget));
+    }
+  } else {
+    // Reorder buffer: workers drop finished items into `results`; the calling
+    // thread emits them strictly by index so sink output order never depends
+    // on which worker finished first.
+    std::vector<std::vector<BatchRow>> results(items.size());
+    std::vector<char> done(items.size(), 0);
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable ready;
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    JoinGuard join_guard{workers};
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers.emplace_back([&] {
+        // Per-worker allocator set: schemes are stateless between allocate
+        // calls, but giving each worker its own copies removes any sharing
+        // question outright.
+        const auto schemes = make_schemes(options_.schemes);
+        for (std::size_t i = next.fetch_add(1); i < items.size(); i = next.fetch_add(1)) {
+          auto rows =
+              evaluate_item_safe(spec, items[i], nullptr, schemes, options_.optimal_budget);
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            results[i] = std::move(rows);
+            done[i] = 1;
+          }
+          ready.notify_one();
+        }
+      });
+    }
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::unique_lock<std::mutex> lock(mutex);
+      ready.wait(lock, [&] { return done[i] != 0; });
+      auto rows = std::move(results[i]);
+      lock.unlock();
+      emit(std::move(rows));
+    }
+  }
+
+  for (auto* sink : sinks) sink->end();
+  summary.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+  return summary;
+}
+
+RunSummary ExplorationEngine::run_instance(const core::Instance& instance,
+                                           const std::vector<ResultSink*>& sinks) const {
+  const auto started = std::chrono::steady_clock::now();
+  instance.validate();
+
+  RunSummary summary;
+  summary.instances = 1;
+  for (auto* sink : sinks) sink->begin();
+
+  BatchItem item;
+  item.label = "instance";
+  const BatchSpec empty_spec;
+  const auto schemes = make_schemes(options_.schemes);
+  auto rows =
+      evaluate_item_safe(empty_spec, item, &instance, schemes, options_.optimal_budget);
+  for (auto& row : rows) {
+    if (row.status == "ok") {
+      ++summary.evaluated;
+      if (row.feasible && row.validated) ++summary.feasible;
+    } else if (row.status == "skipped") {
+      ++summary.skipped;
+    } else {
+      ++summary.errors;
+    }
+    for (auto* sink : sinks) sink->row(row);
+    summary.rows.push_back(std::move(row));
+  }
+
+  for (auto* sink : sinks) sink->end();
+  summary.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+  return summary;
+}
+
+}  // namespace hydra::exp

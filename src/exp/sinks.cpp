@@ -1,0 +1,190 @@
+#include "exp/sinks.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "io/table.h"
+
+namespace hydra::exp {
+
+namespace {
+
+const char* const kColumns[] = {"instance", "label",     "seed",
+                                "scheme",   "status",    "feasible",
+                                "validated", "tightness", "normalized",
+                                "note"};
+
+std::vector<std::string> row_cells(const BatchRow& row) {
+  return {std::to_string(row.instance_index),
+          row.instance_label,
+          row.seed == 0 ? std::string("-") : std::to_string(row.seed),
+          row.scheme,
+          row.status,
+          row.feasible ? "yes" : "no",
+          row.validated ? "yes" : "no",
+          row.feasible ? format_double(row.cumulative_tightness) : "-",
+          row.feasible ? format_double(row.normalized_tightness) : "-",
+          row.note};
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  // std::to_chars emits the shortest round-trip representation and ignores
+  // the locale, which is what keeps the streams byte-stable.  Non-finite
+  // values stay visible instead of masquerading as numbers.
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+std::string json_number(double value) {
+  // JSON has no NaN/Infinity literal; null keeps the line parseable.
+  return std::isfinite(value) ? format_double(value) : "null";
+}
+
+// ---------------------------------------------------------------------------
+// TableSink
+// ---------------------------------------------------------------------------
+
+struct TableSink::Impl {
+  explicit Impl(std::ostream& os)
+      : os(os), table(std::vector<std::string>(std::begin(kColumns), std::end(kColumns))) {}
+  std::ostream& os;
+  io::Table table;
+};
+
+TableSink::TableSink(std::ostream& os) : impl_(std::make_unique<Impl>(os)) {}
+TableSink::~TableSink() = default;
+
+void TableSink::row(const BatchRow& row) { impl_->table.add_row(row_cells(row)); }
+
+void TableSink::end() {
+  if (impl_->table.num_rows() == 0) return;
+  impl_->table.print(impl_->os);
+  // Reset so a subsequent engine run prints its own table instead of
+  // re-printing accumulated rows.
+  impl_->table = io::Table(std::vector<std::string>(std::begin(kColumns), std::end(kColumns)));
+}
+
+// ---------------------------------------------------------------------------
+// CsvSink
+// ---------------------------------------------------------------------------
+
+void CsvSink::begin() {
+  if (header_written_) return;
+  header_written_ = true;
+  bool first = true;
+  for (const char* column : kColumns) {
+    if (!first) os_ << ',';
+    os_ << column;
+    first = false;
+  }
+  os_ << '\n';
+}
+
+void CsvSink::row(const BatchRow& row) {
+  bool first = true;
+  for (const auto& cell : row_cells(row)) {
+    if (!first) os_ << ',';
+    os_ << io::csv_quote(cell);
+    first = false;
+  }
+  os_ << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonlSink::row(const BatchRow& row) {
+  os_ << "{\"instance\":" << row.instance_index
+      << ",\"label\":\"" << json_escape(row.instance_label) << '"'
+      << ",\"seed\":" << row.seed
+      << ",\"scheme\":\"" << json_escape(row.scheme) << '"'
+      << ",\"status\":\"" << json_escape(row.status) << '"'
+      << ",\"feasible\":" << (row.feasible ? "true" : "false")
+      << ",\"validated\":" << (row.validated ? "true" : "false")
+      << ",\"cumulative_tightness\":" << json_number(row.cumulative_tightness)
+      << ",\"normalized_tightness\":" << json_number(row.normalized_tightness)
+      << ",\"rt_utilization\":" << json_number(row.rt_utilization)
+      << ",\"sec_utilization\":" << json_number(row.sec_utilization)
+      << ",\"note\":\"" << json_escape(row.note) << "\"}\n";
+}
+
+// ---------------------------------------------------------------------------
+// File sink
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class FileSink : public ResultSink {
+ public:
+  FileSink(const std::string& path, bool jsonl) : stream_(path) {
+    if (!stream_) throw std::runtime_error("cannot open result file: " + path);
+    if (jsonl) {
+      inner_ = std::make_unique<JsonlSink>(stream_);
+    } else {
+      inner_ = std::make_unique<CsvSink>(stream_);
+    }
+  }
+
+  void begin() override { inner_->begin(); }
+  void row(const BatchRow& row) override { inner_->row(row); }
+  void end() override {
+    inner_->end();
+    stream_.flush();
+  }
+
+ private:
+  std::ofstream stream_;
+  std::unique_ptr<ResultSink> inner_;
+};
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::unique_ptr<ResultSink> make_file_sink(const std::string& path) {
+  if (ends_with(path, ".jsonl") || ends_with(path, ".json")) {
+    return std::make_unique<FileSink>(path, /*jsonl=*/true);
+  }
+  if (ends_with(path, ".csv")) {
+    return std::make_unique<FileSink>(path, /*jsonl=*/false);
+  }
+  throw std::invalid_argument("result file must end in .jsonl, .json or .csv: " + path);
+}
+
+}  // namespace hydra::exp

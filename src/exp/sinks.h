@@ -1,0 +1,105 @@
+// Result sinks for the exploration engine: each evaluated (instance, scheme)
+// pair becomes one BatchRow, streamed — in stable batch order, regardless of
+// worker completion order — to every attached sink.
+//
+// Built-in sinks:
+//   * TableSink — buffers rows and renders a column-aligned io::Table;
+//   * CsvSink   — streams RFC-4180 CSV (header first);
+//   * JsonlSink — streams one JSON object per line, the machine-readable
+//     format downstream tooling and the determinism tests consume.
+//
+// Rows deliberately carry no timing fields: the byte-identical-across-jobs
+// guarantee (same BatchSpec ⇒ same JSONL for --jobs 1 and --jobs 8) would not
+// survive wall-clock noise.  Timing lives in the engine's RunSummary.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace hydra::exp {
+
+/// One evaluated (instance, scheme) result.
+struct BatchRow {
+  std::size_t instance_index = 0;
+  std::string instance_label;      ///< "seed=..." or the source file path
+  std::uint64_t seed = 0;          ///< 0 for file-sourced instances
+  std::string scheme;              ///< registry name, e.g. "hydra/exact-rta"
+  /// "ok" (evaluated), "skipped" (e.g. optimal over budget), "no-instance"
+  /// (the draw/load produced nothing), or "error" (the scheme threw).
+  std::string status = "ok";
+  std::string note;                ///< skip/error detail or validation problem
+  bool feasible = false;
+  bool validated = false;
+  double cumulative_tightness = 0.0;
+  double normalized_tightness = 0.0;
+  double rt_utilization = 0.0;     ///< instance context (0 when unknown)
+  double sec_utilization = 0.0;
+};
+
+/// Sinks are re-usable across several engine runs (a sweep passes the same
+/// file sink to one run per utilization point), so begin() must be idempotent
+/// and end() must leave the sink ready for more rows.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void begin() {}
+  virtual void row(const BatchRow& row) = 0;
+  virtual void end() {}
+};
+
+/// Buffers rows and prints a column-aligned io::Table on end().
+class TableSink : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& os);
+  ~TableSink() override;
+  void row(const BatchRow& row) override;
+  void end() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Streams RFC-4180 CSV; the header is written once, on the first begin().
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& os) : os_(os) {}
+  void begin() override;
+  void row(const BatchRow& row) override;
+
+ private:
+  std::ostream& os_;
+  bool header_written_ = false;
+};
+
+/// Streams one JSON object per line (JSON Lines).
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  void row(const BatchRow& row) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+/// Locale-independent shortest-round-trip double formatting (std::to_chars),
+/// so JSONL/CSV output is byte-stable across runs and platforms.  NaN and
+/// infinities render as "nan"/"inf"/"-inf" — visible, not fake zeros.
+std::string format_double(double value);
+
+/// format_double for JSON number positions: non-finite values become "null"
+/// so every emitted line stays parseable.
+std::string json_number(double value);
+
+/// A sink that owns its output file stream.  The format follows the
+/// extension: ".jsonl"/".json" ⇒ JSONL, ".csv" ⇒ CSV; anything else throws
+/// std::invalid_argument.  Throws std::runtime_error when the file cannot be
+/// opened; flushes on destruction.
+std::unique_ptr<ResultSink> make_file_sink(const std::string& path);
+
+}  // namespace hydra::exp

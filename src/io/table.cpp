@@ -45,12 +45,25 @@ void Table::print_csv(std::ostream& os) const {
   const auto emit_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c > 0) os << ',';
-      os << row[c];
+      os << csv_quote(row[c]);
     }
     os << '\n';
   };
   emit_row(headers_);
   for (const auto& row : rows_) emit_row(row);
+}
+
+std::string csv_quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string quoted;
+  quoted.reserve(cell.size() + 2);
+  quoted += '"';
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
 }
 
 std::string fmt(double value, int precision) {

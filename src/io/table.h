@@ -23,13 +23,19 @@ class Table {
   /// spaces per line.
   void print(std::ostream& os, int indent = 0) const;
 
-  /// Renders as CSV (no quoting: callers keep cells comma-free).
+  /// Renders as RFC-4180 CSV: cells containing commas, quotes, CR or LF are
+  /// quoted and embedded quotes doubled, so scheme names like
+  /// "hydra/tie=lowest-index" or free-text failure reasons survive intact.
   void print_csv(std::ostream& os) const;
 
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// RFC-4180 quoting for one CSV cell: returned verbatim when safe, otherwise
+/// wrapped in double quotes with embedded quotes doubled.
+std::string csv_quote(const std::string& cell);
 
 /// Fixed-precision formatting helpers.
 std::string fmt(double value, int precision = 3);

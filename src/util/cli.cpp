@@ -95,4 +95,28 @@ std::vector<std::int64_t> CliParser::get_int_list(const std::string& name,
   return out;
 }
 
+std::vector<std::string> CliParser::get_string_list(const std::string& name,
+                                                    std::vector<std::string> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::string> out;
+  const std::string& v = it->second;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const auto comma = v.find(',', pos);
+    std::string tok = comma == std::string::npos ? v.substr(pos) : v.substr(pos, comma - pos);
+    const auto begin = tok.find_first_not_of(" \t");
+    if (begin != std::string::npos) {
+      const auto end = tok.find_last_not_of(" \t");
+      out.push_back(tok.substr(begin, end - begin + 1));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("option --" + name + " expects a non-empty list");
+  }
+  return out;
+}
+
 }  // namespace hydra::util

@@ -29,6 +29,12 @@ class CliParser {
   std::vector<std::int64_t> get_int_list(const std::string& name,
                                          std::vector<std::int64_t> fallback) const;
 
+  /// Comma-separated list of strings with surrounding whitespace trimmed,
+  /// e.g. --schemes hydra,single-core,optimal.  Empty tokens are dropped; an
+  /// explicitly given but empty list is an error.
+  std::vector<std::string> get_string_list(const std::string& name,
+                                           std::vector<std::string> fallback) const;
+
   /// Name of the executable (argv[0]).
   const std::string& program() const { return program_; }
 

@@ -1,0 +1,123 @@
+// Tests for the result sinks: JSONL shape, CSV quoting, table rendering,
+// re-use across runs, and the extension-dispatched file sink.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "exp/sinks.h"
+
+namespace hexp = hydra::exp;
+
+namespace {
+
+hexp::BatchRow sample_row() {
+  hexp::BatchRow row;
+  row.instance_index = 3;
+  row.instance_label = "seed=99";
+  row.seed = 99;
+  row.scheme = "hydra/tie=lowest-index";
+  row.feasible = true;
+  row.validated = true;
+  row.cumulative_tightness = 2.5;
+  row.normalized_tightness = 0.625;
+  return row;
+}
+
+}  // namespace
+
+TEST(JsonlSink, EmitsOneParseableObjectPerRow) {
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  sink.begin();
+  sink.row(sample_row());
+  sink.end();
+  const std::string line = os.str();
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"instance\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"scheme\":\"hydra/tie=lowest-index\""), std::string::npos);
+  EXPECT_NE(line.find("\"feasible\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"cumulative_tightness\":2.5"), std::string::npos);
+  // Exactly one line per row.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST(JsonlSink, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(hexp::json_escape("plain"), "plain");
+  EXPECT_EQ(hexp::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(hexp::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(hexp::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(hexp::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(FormatDouble, RoundTripsAndStaysCompact) {
+  EXPECT_EQ(hexp::format_double(0.0), "0");
+  EXPECT_EQ(hexp::format_double(2.5), "2.5");
+  EXPECT_EQ(hexp::format_double(1.0 / 3.0), "0.3333333333333333");
+  // Shortest representation that parses back to the same double.
+  const double value = 0.1 + 0.2;
+  EXPECT_EQ(std::strtod(hexp::format_double(value).c_str(), nullptr), value);
+}
+
+TEST(FormatDouble, NonFiniteValuesStayVisible) {
+  EXPECT_EQ(hexp::format_double(std::nan("")), "nan");
+  EXPECT_EQ(hexp::format_double(HUGE_VAL), "inf");
+  EXPECT_EQ(hexp::format_double(-HUGE_VAL), "-inf");
+  // JSON number positions fall back to null so lines stay parseable.
+  EXPECT_EQ(hexp::json_number(std::nan("")), "null");
+  EXPECT_EQ(hexp::json_number(2.5), "2.5");
+}
+
+TEST(CsvSink, QuotesCellsAndWritesHeaderOnce) {
+  std::ostringstream os;
+  hexp::CsvSink sink(os);
+  sink.begin();
+  auto row = sample_row();
+  row.note = "needs, quoting";
+  sink.row(row);
+  sink.end();
+  sink.begin();  // a second engine run re-uses the sink
+  sink.row(sample_row());
+  sink.end();
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("instance,label"), 0u);                       // header first
+  EXPECT_EQ(out.find("instance,label", 1), std::string::npos);     // and only once
+  EXPECT_NE(out.find("\"needs, quoting\""), std::string::npos);    // RFC-4180 quoted
+}
+
+TEST(TableSink, RendersRowsAndResetsBetweenRuns) {
+  std::ostringstream os;
+  hexp::TableSink sink(os);
+  sink.begin();
+  sink.row(sample_row());
+  sink.end();
+  const auto first_len = os.str().size();
+  EXPECT_NE(os.str().find("hydra/tie=lowest-index"), std::string::npos);
+  sink.begin();
+  sink.row(sample_row());
+  sink.end();
+  // The second run renders one table again, not an accumulation of both runs.
+  EXPECT_EQ(os.str().size(), 2 * first_len);
+}
+
+TEST(FileSink, DispatchesOnExtensionAndWritesTheFile) {
+  const std::string jsonl_path = "/tmp/hydra_sink_test.jsonl";
+  {
+    const auto sink = hexp::make_file_sink(jsonl_path);
+    sink->begin();
+    sink->row(sample_row());
+    sink->end();
+  }
+  std::ifstream in(jsonl_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"scheme\""), std::string::npos);
+  std::remove(jsonl_path.c_str());
+
+  EXPECT_THROW(hexp::make_file_sink("/tmp/out.txt"), std::invalid_argument);
+  EXPECT_THROW(hexp::make_file_sink("/nonexistent-dir/x.csv"), std::runtime_error);
+}

@@ -39,6 +39,26 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
 }
 
+TEST(Table, CsvQuotesCommasQuotesAndNewlines) {
+  io::Table t({"scheme", "note"});
+  t.add_row({"hydra/tie=lowest-index", "a,b"});
+  t.add_row({"say \"hi\"", "line1\nline2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "scheme,note\n"
+            "hydra/tie=lowest-index,\"a,b\"\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
+TEST(Table, CsvQuoteHelper) {
+  EXPECT_EQ(io::csv_quote("plain"), "plain");
+  EXPECT_EQ(io::csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(io::csv_quote("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(io::csv_quote("nl\n"), "\"nl\n\"");
+  EXPECT_EQ(io::csv_quote(""), "");
+}
+
 TEST(Table, RowWidthEnforced) {
   io::Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);

@@ -159,6 +159,24 @@ TEST(Cli, IntListParsing) {
   EXPECT_EQ(cores[2], 8);
 }
 
+TEST(Cli, StringListParsing) {
+  const auto cli = parse({"prog", "--schemes", "hydra, single-core ,optimal"});
+  const auto schemes = cli.get_string_list("schemes", {});
+  ASSERT_EQ(schemes.size(), 3u);
+  EXPECT_EQ(schemes[0], "hydra");
+  EXPECT_EQ(schemes[1], "single-core");  // whitespace trimmed
+  EXPECT_EQ(schemes[2], "optimal");
+}
+
+TEST(Cli, StringListFallbackAndEmpty) {
+  const auto absent = parse({"prog"});
+  const auto fallback = absent.get_string_list("schemes", {"hydra"});
+  ASSERT_EQ(fallback.size(), 1u);
+  EXPECT_EQ(fallback[0], "hydra");
+  const auto empty = parse({"prog", "--schemes", ","});
+  EXPECT_THROW(empty.get_string_list("schemes", {}), std::invalid_argument);
+}
+
 TEST(Cli, RejectsPositionalAndMalformed) {
   EXPECT_THROW(parse({"prog", "positional"}), std::invalid_argument);
   const auto cli = parse({"prog", "--n", "notanint"});
