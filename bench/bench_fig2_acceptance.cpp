@@ -5,11 +5,12 @@
 // 0.025·M (39 points), 250 random tasksets per point, NR ∈ [3M, 10M],
 // NS ∈ [2M, 5M], tasksets failing Eq. (1) discarded and redrawn.
 //
-// Runs on the batch ExplorationEngine: every utilization point is one
-// BatchSpec evaluated across the worker pool (--jobs), with deterministic
-// per-instance seeds, so results are identical for any thread count.  The
-// first scheme in --schemes is the candidate, the second the baseline; every
-// per-(instance, scheme) row can be captured with --out sweep.jsonl.
+// Runs as ONE exp::Sweep across every (core count, utilization) point — a
+// single work-stealing queue with deterministic per-instance seeds, so the
+// row stream is byte-identical for any --jobs value — and reads every
+// reported number off the exp::Aggregator cells (no hand-rolled acceptance
+// counting).  --out captures the per-(instance, scheme) rows; --resume
+// splices the completed cells of a previous (possibly interrupted) run.
 //
 // NOTE on the improvement formula: the paper prints
 // (δ_SingleCore − δ_HYDRA)/δ_SingleCore × 100 %, which is negative whenever
@@ -20,13 +21,15 @@
 //
 // Usage: bench_fig2_acceptance [--cores 2,4,8] [--tasksets 250] [--seed 7]
 //                              [--schemes hydra,single-core] [--jobs 1]
-//                              [--out sweep.jsonl] [--csv]
+//                              [--out sweep.jsonl] [--resume sweep.jsonl]
+//                              [--agg-out cells.jsonl] [--csv]
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
-#include "exp/engine.h"
-#include "exp/sinks.h"
+#include "exp/aggregate.h"
+#include "exp/sweep.h"
 #include "gen/synthetic.h"
 #include "io/table.h"
 #include "stats/summary.h"
@@ -50,13 +53,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  hexp::EngineOptions engine_options;
-  engine_options.schemes = scheme_names;
-  engine_options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
-  const hexp::ExplorationEngine engine(engine_options);
+  // The whole figure is one sweep: cores × 39 utilization points × tasksets,
+  // every cell drawn from (seed, point index, instance index) alone.
+  hexp::SweepSpec spec;
+  spec.schemes = scheme_names;
+  spec.replications = tasksets;
+  spec.base_seed = seed;
+  spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  spec.resume_path = cli.get_string("resume", "");
+  for (const auto m : cores) {
+    gen::SyntheticConfig config;
+    config.num_cores = static_cast<std::size_t>(m);
+    spec.add_utilization_grid(
+        config, cli.get_double_list("utilizations",
+                                    hexp::utilization_axis(config.num_cores)));
+  }
+  const hexp::Sweep sweep(std::move(spec));
 
+  hexp::Aggregator aggregator;
   std::unique_ptr<hexp::ResultSink> file_sink;
-  std::vector<hexp::ResultSink*> sinks;
+  std::vector<hexp::ResultSink*> sinks = {&aggregator};
   if (cli.has("out")) {
     file_sink = hexp::make_file_sink(cli.get_string("out", ""));
     sinks.push_back(file_sink.get());
@@ -64,44 +80,26 @@ int main(int argc, char** argv) {
 
   io::print_banner(std::cout, "Fig. 2: improvement in acceptance ratio (" +
                                   scheme_names[0] + " vs " + scheme_names[1] + ")");
-  std::cout << tasksets << " tasksets per utilization point; 39 points per core count.\n";
+  std::cout << tasksets << " tasksets per utilization point.\n";
+
+  const auto summary = sweep.run(sinks);
+  const auto cells = aggregator.cells();
 
   for (const auto m : cores) {
-    gen::SyntheticConfig config;
-    config.num_cores = static_cast<std::size_t>(m);
-
     io::Table table({"total utilization", "accept " + scheme_names[0],
                      "accept " + scheme_names[1], "improvement (%)"});
-
-    for (int step = 1; step <= 39; ++step) {
-      const double u = 0.025 * static_cast<double>(step) * static_cast<double>(m);
-
-      hexp::BatchSpec spec;
-      spec.count = tasksets;
-      spec.synthetic = config;
-      spec.total_utilization = u;
-      // Decorrelate (core count, step) pairs while staying reproducible.
-      spec.base_seed = seed + (static_cast<std::uint64_t>(m) << 32) +
-                       (static_cast<std::uint64_t>(step) << 8);
-
-      // Rows go to the caller thread in batch order; `sinks` captures the
-      // optional --out file across every point of the sweep.
-      const auto summary = engine.run(spec, sinks);
-
-      hydra::stats::AcceptanceCounter candidate, baseline;
-      for (const auto& row : summary.rows) {
-        // A "no-instance" row means Eq. (1) filtered the whole draw budget:
-        // trivially unschedulable for both schemes, as in the paper.
-        const bool accepted = row.status == "ok" && row.feasible && row.validated;
-        if (row.scheme == scheme_names[0]) candidate.record(accepted);
-        if (row.scheme == scheme_names[1]) baseline.record(accepted);
-      }
+    for (std::size_t p = 0; p < sweep.spec().points.size(); ++p) {
+      const auto& point = sweep.spec().points[p];
+      if (point.synthetic.num_cores != static_cast<std::size_t>(m)) continue;
+      const auto* candidate = hexp::Aggregator::find(cells, p, scheme_names[0]);
+      const auto* baseline = hexp::Aggregator::find(cells, p, scheme_names[1]);
+      if (candidate == nullptr || baseline == nullptr) continue;
       const double improvement = hydra::stats::acceptance_improvement_percent(
-          candidate.ratio(), baseline.ratio());
-      table.add_row({io::fmt(u, 3), io::fmt(candidate.ratio(), 3),
-                     io::fmt(baseline.ratio(), 3), io::fmt(improvement, 1)});
+          candidate->acceptance_ratio, baseline->acceptance_ratio);
+      table.add_row({io::fmt(point.total_utilization, 3),
+                     io::fmt(candidate->acceptance_ratio, 3),
+                     io::fmt(baseline->acceptance_ratio, 3), io::fmt(improvement, 1)});
     }
-
     io::print_banner(std::cout, "M = " + std::to_string(m) + " cores");
     if (csv) {
       table.print_csv(std::cout);
@@ -109,8 +107,15 @@ int main(int argc, char** argv) {
       table.print(std::cout);
     }
   }
-  if (file_sink) file_sink->end();
 
+  if (cli.has("agg-out")) {
+    std::ofstream agg(cli.get_string("agg-out", ""));
+    aggregator.write_jsonl(agg);
+  }
+  if (summary.resumed_cells > 0) {
+    std::cout << "\nresumed " << summary.resumed_cells << " of " << summary.cells
+              << " cells from " << sweep.spec().resume_path << "\n";
+  }
   std::cout << "\nShape target: improvement ~0 at low utilization, rising "
                "toward 100% at high utilization (SingleCore runs out of RT "
                "capacity on M-1 cores and of security capacity on one core).\n";

@@ -1,35 +1,39 @@
 // Fig. 3 reproduction: difference in cumulative tightness between HYDRA and
 // the optimal (exhaustive) assignment, M = 2, NS ∈ [2, 6].
 //
-// For every schedulable instance both schemes run against the same best-fit
-// RT partition (Allocator::allocate(instance, partition)); the gap is
-// Δη = (η_REF − η_CAND)/η_REF × 100 %.  The paper reports ~0 gap at
-// low/medium utilization, growing but bounded by ≈22 % at high utilization.
-// Defaults compare hydra against optimal; any registered pair whose placement
-// honours a shared partition works, e.g. --schemes hydra/first-fit,optimal.
+// Runs as one exp::Sweep over the utilization axis with the reference scheme
+// configured on the exp::Aggregator: the gap Δη = (η_REF − η_CAND)/η_REF ×
+// 100 % is joined per instance over the instances BOTH schemes accepted —
+// the paper's "schedulable task sets" protocol — and the mean/max columns
+// come straight off the aggregated cells.  Both schemes partition the RT
+// tasks best-fit over all M cores, so they run on identical footing.  The
+// paper reports ~0 gap at low/medium utilization, growing but bounded by
+// ≈22 % at high utilization.
 //
 // Usage: bench_fig3_optimal_gap [--tasksets 50] [--seed 11]
-//                               [--schemes hydra,optimal] [--csv]
+//                               [--schemes hydra,optimal] [--jobs 1]
+//                               [--out rows.jsonl] [--resume rows.jsonl]
+//                               [--agg-out cells.jsonl] [--csv]
 //        (the paper's Fig. 3 uses M = 2; the exhaustive comparator is
 //         exponential, so per-point taskset counts are smaller than Fig. 2's)
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
-#include "core/registry.h"
+#include "exp/aggregate.h"
+#include "exp/sweep.h"
 #include "gen/synthetic.h"
 #include "io/table.h"
-#include "rt/partition.h"
-#include "stats/summary.h"
 #include "util/cli.h"
 
-namespace core = hydra::core;
+namespace hexp = hydra::exp;
 namespace gen = hydra::gen;
 namespace io = hydra::io;
 
 int main(int argc, char** argv) {
   const hydra::util::CliParser cli(argc, argv);
-  const int tasksets = static_cast<int>(cli.get_int("tasksets", 50));
+  const auto tasksets = static_cast<std::size_t>(cli.get_int("tasksets", 50));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
   const auto scheme_names = cli.get_string_list("schemes", {"hydra", "optimal"});
   const bool csv = cli.get_bool("csv", false);
@@ -39,54 +43,65 @@ int main(int argc, char** argv) {
                  "(candidate,reference)\n";
     return 2;
   }
-  const auto candidate = core::AllocatorRegistry::global().make(scheme_names[0]);
-  const auto reference = core::AllocatorRegistry::global().make(scheme_names[1]);
-
-  io::print_banner(std::cout, "Fig. 3: " + candidate->name() + " vs " +
-                                  reference->name() +
-                                  " exhaustive assignment (M = 2, NS in [2, 6])");
-  std::cout << tasksets << " schedulable tasksets per utilization point.\n";
 
   gen::SyntheticConfig config;
   config.num_cores = 2;
   config.min_sec_per_core = 1;  // NS ∈ [2, 6] as in the paper's Fig. 3
   config.max_sec_per_core = 3;
 
-  io::Table table({"total utilization", "mean gap (%)", "max gap (%)", "samples"});
-  hydra::util::Xoshiro256 rng(seed);
+  hexp::SweepSpec spec;
+  spec.schemes = scheme_names;
+  spec.replications = tasksets;
+  spec.base_seed = seed;
+  spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  spec.resume_path = cli.get_string("resume", "");
+  spec.add_utilization_grid(
+      config, cli.get_double_list("utilizations", hexp::utilization_axis(2)));
+  const hexp::Sweep sweep(std::move(spec));
 
-  for (int step = 1; step <= 39; ++step) {
-    const double u = 0.025 * static_cast<double>(step) * 2.0;
-    std::vector<double> gaps;
-    int attempts = 0;
-    while (static_cast<int>(gaps.size()) < tasksets && attempts < tasksets * 8) {
-      ++attempts;
-      auto trial_rng = rng.fork();
-      const auto drawn = gen::generate_filtered_instance(config, u, trial_rng);
-      if (!drawn.has_value()) break;  // utilization point structurally hopeless
-      const auto partition = hydra::rt::partition_rt_tasks(drawn->instance.rt_tasks, 2);
-      if (!partition.has_value()) continue;
-      const auto c = candidate->allocate(drawn->instance, *partition);
-      if (!c.feasible) continue;  // the paper compares on schedulable sets
-      const auto r = reference->allocate(drawn->instance, *partition);
-      if (!r.feasible) continue;  // cannot happen if the candidate succeeded; guard anyway
-      const double eta_c = c.cumulative_tightness(drawn->instance.security_tasks);
-      const double eta_r = r.cumulative_tightness(drawn->instance.security_tasks);
-      gaps.push_back(hydra::stats::gap_percent(eta_r, eta_c));
-    }
-    if (gaps.empty()) {
-      table.add_row({io::fmt(u, 3), "-", "-", "0"});
+  hexp::AggregateOptions agg_options;
+  agg_options.reference_scheme = scheme_names[1];
+  hexp::Aggregator aggregator(agg_options);
+
+  std::unique_ptr<hexp::ResultSink> file_sink;
+  std::vector<hexp::ResultSink*> sinks = {&aggregator};
+  if (cli.has("out")) {
+    file_sink = hexp::make_file_sink(cli.get_string("out", ""));
+    sinks.push_back(file_sink.get());
+  }
+
+  io::print_banner(std::cout, "Fig. 3: " + scheme_names[0] + " vs " + scheme_names[1] +
+                                  " exhaustive assignment (M = 2, NS in [2, 6])");
+  std::cout << tasksets << " tasksets per utilization point.\n";
+
+  const auto summary = sweep.run(sinks);
+  const auto cells = aggregator.cells();
+
+  io::Table table({"total utilization", "mean gap (%)", "max gap (%)", "samples"});
+  for (std::size_t p = 0; p < sweep.spec().points.size(); ++p) {
+    const auto& point = sweep.spec().points[p];
+    const auto* cell = hexp::Aggregator::find(cells, p, scheme_names[0]);
+    if (cell == nullptr || cell->gap_samples == 0) {
+      table.add_row({io::fmt(point.total_utilization, 3), "-", "-", "0"});
       continue;
     }
-    const auto s = hydra::stats::summarize(gaps);
-    table.add_row({io::fmt(u, 3), io::fmt(s.mean, 2), io::fmt(s.max, 2),
-                   std::to_string(s.count)});
+    table.add_row({io::fmt(point.total_utilization, 3), io::fmt(cell->gap_mean_percent, 2),
+                   io::fmt(cell->gap_max_percent, 2), std::to_string(cell->gap_samples)});
   }
 
   if (csv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+
+  if (cli.has("agg-out")) {
+    std::ofstream agg(cli.get_string("agg-out", ""));
+    aggregator.write_jsonl(agg);
+  }
+  if (summary.resumed_cells > 0) {
+    std::cout << "\nresumed " << summary.resumed_cells << " of " << summary.cells
+              << " cells from " << sweep.spec().resume_path << "\n";
   }
   std::cout << "\nShape target: gap ~0 at low/medium utilization, growing at "
                "high utilization yet staying well below ~25% (paper: <= 22%).\n";

@@ -5,7 +5,9 @@
 // By default the paper's line-up runs (HYDRA, HYDRA(exact-RTA), SingleCore,
 // Optimal-when-affordable).  --schemes switches to any registry selection,
 // --list-schemes prints the catalog, and --out streams the comparison rows to
-// a .jsonl/.csv file via the exploration sinks.
+// a .jsonl/.csv file through a one-point exp::Sweep — the same row schema
+// every sweep bench emits, so report output feeds the same downstream
+// tooling.
 //
 // Usage: ./build/design_space_report [--cores 2]
 //        ./build/design_space_report --file taskset.txt
@@ -18,7 +20,7 @@
 
 #include "core/design_space.h"
 #include "core/registry.h"
-#include "exp/sinks.h"
+#include "exp/sweep.h"
 #include "gen/uav.h"
 #include "io/table.h"
 #include "io/taskset_io.h"
@@ -73,22 +75,26 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   if (cli.has("out")) {
+    // One-point sweep over the same instance and scheme selection: the file
+    // gets bona fide sweep rows (status, validation, utilization context,
+    // cell key) instead of a hand-assembled imitation.  This re-evaluates the
+    // schemes (once for the table above, once here) — accepted for a one-shot
+    // report CLI on a single instance; rows carry no Allocation, so reusing
+    // `report.points` would mean hand-assembling rows again.  The default
+    // line-up's display names ("HYDRA(exact-RTA)") are not registry names, so
+    // the default maps to their registry equivalents.
+    hexp::SweepSpec sweep_spec;
+    sweep_spec.schemes = cli.has("schemes")
+                             ? cli.get_string_list("schemes", {})
+                             : std::vector<std::string>{"hydra", "hydra/exact-rta",
+                                                        "single-core", "optimal"};
+    hexp::SweepPoint point;
+    point.instance = instance;
+    point.label = cli.has("file") ? cli.get_string("file", "") : "uav-case-study";
+    sweep_spec.points.push_back(std::move(point));
+    const hexp::Sweep sweep(std::move(sweep_spec));
     const auto sink = hexp::make_file_sink(cli.get_string("out", ""));
-    sink->begin();
-    for (const auto& p : report.points) {
-      hexp::BatchRow row;
-      row.instance_label = cli.has("file") ? cli.get_string("file", "") : "uav-case-study";
-      row.scheme = p.scheme;
-      row.feasible = p.allocation.feasible;
-      row.validated = p.validated;
-      row.cumulative_tightness = p.cumulative_tightness;
-      row.normalized_tightness = p.normalized_tightness;
-      row.note = p.allocation.feasible
-                     ? (p.validated ? std::string() : p.validation_problem)
-                     : p.allocation.failure_reason;
-      sink->row(row);
-    }
-    sink->end();
+    sweep.run({sink.get()});
     std::cout << "\nrows written to " << cli.get_string("out", "") << "\n";
   }
 

@@ -3,24 +3,25 @@
 // ratio and achieved tightness degrade — the workflow a system designer would
 // run before committing to a security-integration architecture.
 //
-// Built on the batch ExplorationEngine: each utilization point is a BatchSpec
-// with deterministic per-instance seeds, evaluated across --jobs worker
-// threads for any registry scheme selection; --out captures every
-// per-(instance, scheme) row as JSONL or CSV for offline analysis.
+// Built on exp::Sweep + exp::Aggregator: the whole utilization axis is ONE
+// declarative spec evaluated as a single work-stealing queue (--jobs), every
+// chart column reads straight off the aggregated cells, --out captures the
+// per-(instance, scheme) rows, and --resume picks a killed run back up from
+// its JSONL checkpoint without recomputing finished cells.
 //
 // Usage: ./build/synthetic_exploration [--cores 4] [--tasksets 50] [--seed 21]
 //                                      [--schemes hydra,single-core] [--jobs 4]
-//                                      [--out sweep.jsonl]
+//                                      [--out sweep.jsonl] [--resume sweep.jsonl]
+//                                      [--agg-out cells.jsonl]
+#include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <vector>
 
-#include "exp/engine.h"
-#include "exp/sinks.h"
+#include "exp/aggregate.h"
+#include "exp/sweep.h"
 #include "gen/synthetic.h"
 #include "io/table.h"
-#include "stats/summary.h"
 #include "util/cli.h"
 
 namespace hexp = hydra::exp;
@@ -34,60 +35,54 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
   const auto scheme_names = cli.get_string_list("schemes", {"hydra", "single-core"});
 
-  hexp::EngineOptions engine_options;
-  engine_options.schemes = scheme_names;
-  engine_options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
-  const hexp::ExplorationEngine engine(engine_options);
+  gen::SyntheticConfig config;
+  config.num_cores = m;
 
+  // Nine points from 0.1·M to 0.9·M — coarser than Fig. 2's 39-point axis,
+  // adjustable with --utilizations.
+  hexp::SweepSpec spec;
+  spec.schemes = scheme_names;
+  spec.replications = tasksets;
+  spec.base_seed = seed;
+  spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  spec.resume_path = cli.get_string("resume", "");
+  spec.add_utilization_grid(
+      config, cli.get_double_list("utilizations", hexp::utilization_axis(m, 9, 0.1)));
+  const hexp::Sweep sweep(std::move(spec));
+
+  hexp::Aggregator aggregator;
   std::unique_ptr<hexp::ResultSink> file_sink;
-  std::vector<hexp::ResultSink*> sinks;
+  std::vector<hexp::ResultSink*> sinks = {&aggregator};
   if (cli.has("out")) {
     file_sink = hexp::make_file_sink(cli.get_string("out", ""));
     sinks.push_back(file_sink.get());
   }
 
-  gen::SyntheticConfig config;
-  config.num_cores = m;
-
   io::print_banner(std::cout, "Design-space sweep on M = " + std::to_string(m) +
                                   " cores (" + std::to_string(tasksets) +
                                   " tasksets per point, " +
                                   std::to_string(scheme_names.size()) + " schemes)");
+
+  const auto summary = sweep.run(sinks);
+  const auto cells = aggregator.cells();
+
   std::vector<std::string> headers = {"utilization"};
   for (const auto& name : scheme_names) {
     headers.push_back(name + " accept");
     headers.push_back(name + " tightness");
   }
   io::Table table(headers);
-
-  for (int step = 2; step <= 18; step += 2) {
-    const double u = 0.05 * static_cast<double>(step) * static_cast<double>(m);
-
-    hexp::BatchSpec spec;
-    spec.count = tasksets;
-    spec.synthetic = config;
-    spec.total_utilization = u;
-    spec.base_seed = seed + static_cast<std::uint64_t>(step);
-
-    const auto summary = engine.run(spec, sinks);
-
-    // Per-scheme acceptance and mean normalized tightness over the batch.
-    std::map<std::string, hydra::stats::AcceptanceCounter> accept;
-    std::map<std::string, std::vector<double>> tightness;
-    for (const auto& row : summary.rows) {
-      const bool accepted = row.status == "ok" && row.feasible && row.validated;
-      accept[row.scheme].record(accepted);
-      if (accepted) tightness[row.scheme].push_back(row.normalized_tightness);
-    }
-
-    std::vector<std::string> cells = {io::fmt(u, 2)};
+  for (std::size_t p = 0; p < sweep.spec().points.size(); ++p) {
+    std::vector<std::string> cells_row = {
+        io::fmt(sweep.spec().points[p].total_utilization, 2)};
     for (const auto& name : scheme_names) {
-      const auto& t = tightness[name];
-      cells.push_back(io::fmt(accept[name].ratio(), 2));
-      cells.push_back(t.empty() ? std::string("-")
-                                : io::fmt(hydra::stats::summarize(t).mean, 3));
+      const auto* cell = hexp::Aggregator::find(cells, p, name);
+      cells_row.push_back(cell == nullptr ? "-" : io::fmt(cell->acceptance_ratio, 2));
+      cells_row.push_back(cell == nullptr || cell->tightness.count == 0
+                              ? std::string("-")
+                              : io::fmt(cell->tightness.mean, 3));
     }
-    table.add_row(std::move(cells));
+    table.add_row(std::move(cells_row));
   }
   table.print(std::cout);
 
@@ -96,6 +91,15 @@ int main(int argc, char** argv) {
   if (cli.has("out")) {
     std::cout << "per-(instance, scheme) rows written to " << cli.get_string("out", "")
               << ".\n";
+  }
+  if (cli.has("agg-out")) {
+    std::ofstream agg(cli.get_string("agg-out", ""));
+    aggregator.write_jsonl(agg);
+    std::cout << "aggregated cells written to " << cli.get_string("agg-out", "") << ".\n";
+  }
+  if (summary.resumed_cells > 0) {
+    std::cout << "resumed " << summary.resumed_cells << " of " << summary.cells
+              << " cells from " << sweep.spec().resume_path << ".\n";
   }
   return 0;
 }

@@ -1,10 +1,81 @@
 #include "exp/batch.h"
 
+#include <algorithm>
 #include <exception>
+#include <filesystem>
+#include <stdexcept>
 
 #include "io/taskset_io.h"
 
 namespace hydra::exp {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool has_workload_extension(const fs::path& path) {
+  const auto ext = path.extension().string();
+  return ext == ".txt" || ext == ".taskset" || ext == ".workload";
+}
+
+/// Shell-style match supporting '*' (any run) and '?' (any one char), the two
+/// metacharacters corpus specs need; backtracking over the single trailing
+/// star position keeps it linear in practice.
+bool glob_match(const std::string& pattern, const std::string& text) {
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace
+
+std::vector<std::string> expand_workload_files(const std::string& spec) {
+  std::vector<std::string> files;
+  const fs::path path(spec);
+
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file() && has_workload_extension(entry.path())) {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (files.empty()) {
+      throw std::runtime_error("no workload files (*.txt, *.taskset, *.workload) under " +
+                               spec);
+    }
+  } else {
+    const std::string name = path.filename().string();
+    if (name.find('*') == std::string::npos && name.find('?') == std::string::npos) {
+      return {spec};  // plain path; materialize reports load failures per item
+    }
+    const fs::path dir = path.parent_path().empty() ? fs::path(".") : path.parent_path();
+    if (fs::is_directory(dir)) {
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() && glob_match(name, entry.path().filename().string())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    }
+    if (files.empty()) throw std::runtime_error("no files match " + spec);
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
 
 std::uint64_t instance_seed(std::uint64_t base_seed, std::size_t index) {
   // splitmix64 over the pair: decorrelates adjacent indices so instance k is

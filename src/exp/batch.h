@@ -51,6 +51,21 @@ struct BatchItem {
 /// The deterministic per-instance seed: splitmix64 over (base_seed, index).
 std::uint64_t instance_seed(std::uint64_t base_seed, std::size_t index);
 
+/// Expands a workload-corpus path spec into the ordered file list a
+/// BatchSpec::files (or SweepPoint::files) source consumes:
+///
+///   * a directory — every regular file inside with a workload extension
+///     (.txt / .taskset / .workload), recursively, sorted lexicographically
+///     so the batch order never depends on directory-iteration order;
+///   * a pattern whose last component contains '*' or '?' — the matching
+///     regular files in the parent directory, sorted;
+///   * anything else — the path itself, unchecked (materialize reports a
+///     per-instance error if it cannot be loaded).
+///
+/// Throws std::runtime_error when a directory or pattern matches nothing —
+/// an empty regression sweep is always a misconfiguration, not a result.
+std::vector<std::string> expand_workload_files(const std::string& spec);
+
 /// Expands the spec into its ordered descriptor list.
 std::vector<BatchItem> enumerate(const BatchSpec& spec);
 

@@ -27,7 +27,8 @@ SchemeSet make_schemes(const std::vector<std::string>& names) {
 std::vector<BatchRow> evaluate_item(const BatchSpec& spec, const BatchItem& item,
                                     const core::Instance* preloaded,
                                     const SchemeSet& schemes,
-                                    std::size_t optimal_budget) {
+                                    std::size_t optimal_budget,
+                                    const std::vector<RowMetric>& metrics) {
   std::vector<BatchRow> rows;
   rows.reserve(schemes.size());
 
@@ -79,26 +80,36 @@ std::vector<BatchRow> evaluate_item(const BatchSpec& spec, const BatchItem& item
         row.note = point.allocation.failure_reason;
       } else if (!point.validated) {
         row.note = point.validation_problem;
+      } else {
+        // Metric hooks only see results that passed independent validation —
+        // a metric over an invalid allocation would measure a fiction.
+        for (const auto& metric : metrics) {
+          row.metrics.emplace_back(metric.name, metric.compute(*instance, point));
+        }
       }
     } catch (const std::exception& e) {
       row.status = "error";
       row.note = e.what();
+      row.metrics.clear();  // no partial metric lists on error rows
     }
     rows.push_back(std::move(row));
   }
   return rows;
 }
 
-/// evaluate_item with a last-resort catch: a throw outside the per-scheme try
-/// (materialization preconditions, allocation failure) becomes one "error"
-/// row per scheme instead of escaping — essential on worker threads, where an
-/// escaped exception would terminate the process.
-std::vector<BatchRow> evaluate_item_safe(const BatchSpec& spec, const BatchItem& item,
-                                         const core::Instance* preloaded,
-                                         const SchemeSet& schemes,
-                                         std::size_t optimal_budget) {
+}  // namespace
+
+// evaluate_item with a last-resort catch: a throw outside the per-scheme try
+// (materialization preconditions, allocation failure) becomes one "error"
+// row per scheme instead of escaping — essential on worker threads, where an
+// escaped exception would terminate the process.
+std::vector<BatchRow> evaluate_batch_item(const BatchSpec& spec, const BatchItem& item,
+                                          const core::Instance* preloaded,
+                                          const SchemeSet& schemes,
+                                          std::size_t optimal_budget,
+                                          const std::vector<RowMetric>& metrics) {
   try {
-    return evaluate_item(spec, item, preloaded, schemes, optimal_budget);
+    return evaluate_item(spec, item, preloaded, schemes, optimal_budget, metrics);
   } catch (const std::exception& e) {
     std::vector<BatchRow> rows;
     rows.reserve(schemes.size());
@@ -115,6 +126,8 @@ std::vector<BatchRow> evaluate_item_safe(const BatchSpec& spec, const BatchItem&
     return rows;
   }
 }
+
+namespace {
 
 /// Joins every still-joinable worker on scope exit, so an exception on the
 /// coordinating thread (e.g. a sink throwing mid-emission) cannot reach
@@ -172,7 +185,7 @@ RunSummary ExplorationEngine::run(const BatchSpec& spec,
   if (jobs <= 1) {
     const auto schemes = make_schemes(options_.schemes);
     for (const auto& item : items) {
-      emit(evaluate_item_safe(spec, item, nullptr, schemes, options_.optimal_budget));
+      emit(evaluate_batch_item(spec, item, nullptr, schemes, options_.optimal_budget));
     }
   } else {
     // Reorder buffer: workers drop finished items into `results`; the calling
@@ -195,7 +208,7 @@ RunSummary ExplorationEngine::run(const BatchSpec& spec,
         const auto schemes = make_schemes(options_.schemes);
         for (std::size_t i = next.fetch_add(1); i < items.size(); i = next.fetch_add(1)) {
           auto rows =
-              evaluate_item_safe(spec, items[i], nullptr, schemes, options_.optimal_budget);
+              evaluate_batch_item(spec, items[i], nullptr, schemes, options_.optimal_budget);
           {
             std::lock_guard<std::mutex> lock(mutex);
             results[i] = std::move(rows);
@@ -236,7 +249,7 @@ RunSummary ExplorationEngine::run_instance(const core::Instance& instance,
   const BatchSpec empty_spec;
   const auto schemes = make_schemes(options_.schemes);
   auto rows =
-      evaluate_item_safe(empty_spec, item, &instance, schemes, options_.optimal_budget);
+      evaluate_batch_item(empty_spec, item, &instance, schemes, options_.optimal_budget);
   for (auto& row : rows) {
     if (row.status == "ok") {
       ++summary.evaluated;

@@ -16,13 +16,38 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/allocator.h"
 #include "exp/batch.h"
 #include "exp/sinks.h"
 
 namespace hydra::exp {
+
+/// A per-row metric hook: computed for every feasible, validated (instance,
+/// scheme) evaluation and appended to the row's `metrics` in declaration
+/// order.  `compute` MUST be a deterministic pure function of its arguments
+/// (seed any internal simulation from the instance/row data, never from a
+/// clock) — it runs on worker threads and its results are covered by the
+/// byte-identical-across-jobs guarantee.  A throwing metric turns the row
+/// into an "error" row; it does not abort the sweep.
+struct RowMetric {
+  std::string name;
+  std::function<double(const core::Instance&, const core::DesignPoint&)> compute;
+};
+
+/// Evaluates every scheme on one batch item: the pure function both the
+/// ExplorationEngine and the exp::Sweep work queue fan out to workers.
+/// `preloaded` (optional) bypasses materialization for instance-backed items.
+/// Never throws — any failure becomes one "error" row per scheme, which is
+/// what keeps an escaped exception from terminating a worker thread.
+std::vector<BatchRow> evaluate_batch_item(
+    const BatchSpec& spec, const BatchItem& item, const core::Instance* preloaded,
+    const std::vector<std::unique_ptr<core::Allocator>>& schemes,
+    std::size_t optimal_budget, const std::vector<RowMetric>& metrics = {});
 
 struct EngineOptions {
   /// Registry names evaluated per instance, in this order.

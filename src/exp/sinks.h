@@ -16,12 +16,23 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hydra::exp {
 
 /// One evaluated (instance, scheme) result.
 struct BatchRow {
+  // Sweep context.  Plain engine runs leave these defaulted; the exp::Sweep
+  // layer stamps every row with its grid cell so downstream tooling (and the
+  // --resume checkpoint loader) can regroup a flat JSONL stream.
+  std::string cell;                ///< deterministic cell key; "" outside sweeps
+  std::size_t point_index = 0;     ///< sweep-point position in SweepSpec::points
+  std::string point_label;         ///< e.g. "m=4 u=1.2"; "" outside sweeps
+  double target_utilization = 0.0; ///< the point's requested total utilization
+
   std::size_t instance_index = 0;
   std::string instance_label;      ///< "seed=..." or the source file path
   std::uint64_t seed = 0;          ///< 0 for file-sourced instances
@@ -36,7 +47,19 @@ struct BatchRow {
   double normalized_tightness = 0.0;
   double rt_utilization = 0.0;     ///< instance context (0 when unknown)
   double sec_utilization = 0.0;
+
+  /// Extra per-row metrics a sweep's RowMetric hooks computed (e.g. mean
+  /// detection latency from the attack simulator).  Emitted as a nested JSON
+  /// object; the table/CSV sinks omit them (their schema is fixed).
+  std::vector<std::pair<std::string, double>> metrics;
 };
+
+/// Parses one line previously produced by JsonlSink back into a BatchRow.
+/// Returns nullopt for anything malformed or truncated (the resume loader
+/// treats such lines as "cell not completed").  Round-trips exactly:
+/// re-serializing the parsed row yields byte-identical JSONL, which is what
+/// lets --resume splice checkpointed rows into a fresh run.
+std::optional<BatchRow> parse_jsonl_row(const std::string& line);
 
 /// Sinks are re-usable across several engine runs (a sweep passes the same
 /// file sink to one run per utilization point), so begin() must be idempotent

@@ -1,0 +1,311 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/registry.h"
+
+namespace hydra::exp {
+
+void SweepSpec::add_utilization_grid(const gen::SyntheticConfig& config,
+                                     const std::vector<double>& utilizations) {
+  for (const double u : utilizations) {
+    SweepPoint point;
+    point.synthetic = config;
+    point.total_utilization = u;
+    points.push_back(std::move(point));
+  }
+}
+
+void SweepSpec::add_corpus_point(const std::string& path_or_glob, std::string label) {
+  SweepPoint point;
+  point.files = expand_workload_files(path_or_glob);
+  point.label = label.empty() ? path_or_glob : std::move(label);
+  points.push_back(std::move(point));
+}
+
+std::vector<double> utilization_axis(std::size_t num_cores, std::size_t steps,
+                                     double increment) {
+  std::vector<double> axis;
+  axis.reserve(steps);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    axis.push_back(increment * static_cast<double>(step) * static_cast<double>(num_cores));
+  }
+  return axis;
+}
+
+std::uint64_t sweep_point_seed(std::uint64_t base_seed, std::size_t point_index) {
+  // A distinct splitmix64 domain (the XOR constant) keeps a sweep's point-p
+  // stream disjoint from a plain BatchSpec run using the same base seed.
+  return instance_seed(base_seed ^ 0xC2B2AE3D27D4EB4FULL, point_index);
+}
+
+std::string sweep_cell_key(std::size_t point_index, const std::string& point_label,
+                           std::size_t instance_index) {
+  return "p" + std::to_string(point_index) + ":" + point_label + ":i" +
+         std::to_string(instance_index);
+}
+
+std::map<std::string, std::vector<BatchRow>> load_sweep_checkpoint(
+    const std::string& path) {
+  std::map<std::string, std::vector<BatchRow>> cells;
+  std::ifstream in(path);
+  if (!in) return cells;  // cold start
+  std::string line;
+  while (std::getline(in, line)) {
+    auto row = parse_jsonl_row(line);
+    // Unparseable lines (typically the truncated tail of a killed run) just
+    // leave their cell incomplete — it is re-evaluated, not trusted.
+    if (!row.has_value() || row->cell.empty()) continue;
+    cells[row->cell].push_back(std::move(*row));
+  }
+  return cells;
+}
+
+namespace {
+
+using SchemeSet = std::vector<std::unique_ptr<core::Allocator>>;
+
+/// One (point, instance) unit of the flattened grid — the granularity of
+/// work stealing and of resume.
+struct SweepUnit {
+  std::size_t point = 0;
+  BatchItem item;
+  const BatchSpec* point_spec = nullptr;       // synthetic/file source
+  const core::Instance* preloaded = nullptr;   // preset-instance source
+  std::string cell;
+  double target_utilization = 0.0;
+};
+
+/// Stamps the sweep context onto freshly evaluated (or re-validated cached)
+/// rows, so every emission path produces identical bytes.
+void stamp_rows(std::vector<BatchRow>& rows, const SweepUnit& unit,
+                const std::string& point_label) {
+  for (auto& row : rows) {
+    row.cell = unit.cell;
+    row.point_index = unit.point;
+    row.point_label = point_label;
+    row.target_utilization = unit.target_utilization;
+    row.instance_index = unit.item.index;
+    row.instance_label = unit.item.label;
+    row.seed = unit.item.seed;
+  }
+}
+
+/// A checkpointed cell is only spliced in when it provably matches what the
+/// current spec would compute: same scheme list in order, same per-instance
+/// seed and label, and the full metric set on every validated row.  Anything
+/// else (edited spec, different seed, added metric) silently falls back to
+/// re-evaluation — resume must never resurrect stale results.
+bool cached_cell_matches(const std::vector<BatchRow>& rows, const SweepUnit& unit,
+                         const SweepSpec& spec) {
+  if (rows.size() != spec.schemes.size()) return false;
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    const auto& row = rows[j];
+    if (row.scheme != spec.schemes[j]) return false;
+    if (row.seed != unit.item.seed || row.instance_label != unit.item.label) return false;
+    if (row.instance_index != unit.item.index) return false;
+    if (row.status == "ok" && row.feasible && row.validated) {
+      if (row.metrics.size() != spec.metrics.size()) return false;
+      for (std::size_t k = 0; k < spec.metrics.size(); ++k) {
+        if (row.metrics[k].first != spec.metrics[k].name) return false;
+      }
+    } else if (!row.metrics.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct JoinGuard {
+  std::vector<std::thread>& workers;
+  ~JoinGuard() {
+    for (auto& worker : workers) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+};
+
+}  // namespace
+
+Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
+  if (spec_.schemes.empty()) {
+    throw std::invalid_argument("sweep needs at least one scheme");
+  }
+  core::AllocatorRegistry::global().make_all(spec_.schemes);  // typo check
+  if (spec_.points.empty()) {
+    throw std::invalid_argument("sweep needs at least one point");
+  }
+  if (spec_.replications == 0) {
+    throw std::invalid_argument("sweep needs at least one replication per point");
+  }
+  // Fix the default labels now: cell keys (and hence resume identity) must
+  // not depend on when a caller happens to read them.
+  for (auto& point : spec_.points) {
+    if (!point.label.empty()) continue;
+    if (point.instance.has_value()) {
+      point.label = "m=" + std::to_string(point.instance->num_cores) + " case-study";
+    } else if (!point.files.empty()) {
+      point.label = "files";
+    } else {
+      point.label = "m=" + std::to_string(point.synthetic.num_cores) +
+                    " u=" + format_double(point.total_utilization);
+    }
+  }
+  // Read the checkpoint now so callers can reuse the same path for the
+  // (truncating) output sink they open between construction and run().
+  if (!spec_.resume_path.empty()) {
+    checkpoint_ = load_sweep_checkpoint(spec_.resume_path);
+  }
+}
+
+SweepSummary Sweep::run(const std::vector<ResultSink*>& sinks) const {
+  const auto started = std::chrono::steady_clock::now();
+
+  // Expand the grid into per-point BatchSpecs and the flat unit list.
+  std::vector<BatchSpec> point_specs(spec_.points.size());
+  std::vector<SweepUnit> units;
+  for (std::size_t p = 0; p < spec_.points.size(); ++p) {
+    const auto& point = spec_.points[p];
+    auto& point_spec = point_specs[p];
+    point_spec.synthetic = point.synthetic;
+    point_spec.total_utilization = point.total_utilization;
+    point_spec.base_seed = sweep_point_seed(spec_.base_seed, p);
+    point_spec.max_attempts = spec_.max_attempts;
+    if (point.instance.has_value()) {
+      SweepUnit unit;
+      unit.point = p;
+      unit.item.index = 0;
+      unit.item.label = "instance";
+      unit.preloaded = &*point.instance;
+      unit.cell = sweep_cell_key(p, point.label, 0);
+      units.push_back(std::move(unit));
+      continue;
+    }
+    if (!point.files.empty()) {
+      point_spec.files = point.files;
+    } else {
+      point_spec.count = spec_.replications;
+    }
+    for (auto& item : enumerate(point_spec)) {
+      SweepUnit unit;
+      unit.point = p;
+      unit.cell = sweep_cell_key(p, point.label, item.index);
+      unit.target_utilization = point.files.empty() ? point.total_utilization : 0.0;
+      unit.item = std::move(item);
+      unit.point_spec = &point_specs[p];
+      units.push_back(std::move(unit));
+    }
+  }
+
+  SweepSummary summary;
+  summary.points = spec_.points.size();
+  summary.cells = units.size();
+
+  // Splice in checkpointed cells before any worker starts: resumed units are
+  // pre-completed slots in the reorder buffer, not queue entries.
+  std::vector<std::vector<BatchRow>> results(units.size());
+  std::vector<char> done(units.size(), 0);
+  for (std::size_t i = 0; i < units.size() && !checkpoint_.empty(); ++i) {
+    const auto found = checkpoint_.find(units[i].cell);
+    if (found == checkpoint_.end()) continue;
+    if (!cached_cell_matches(found->second, units[i], spec_)) continue;
+    results[i] = found->second;
+    stamp_rows(results[i], units[i], spec_.points[units[i].point].label);
+    done[i] = 1;
+    ++summary.resumed_cells;
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (!done[i]) pending.push_back(i);
+  }
+
+  for (auto* sink : sinks) sink->begin();
+  const auto emit = [&](std::vector<BatchRow> rows) {
+    for (auto& row : rows) {
+      if (row.status == "ok") {
+        ++summary.evaluated;
+        if (row.feasible && row.validated) ++summary.feasible;
+      } else if (row.status == "skipped") {
+        ++summary.skipped;
+      } else {
+        ++summary.errors;
+      }
+      for (auto* sink : sinks) sink->row(row);
+      summary.rows.push_back(std::move(row));
+    }
+  };
+
+  const auto evaluate_unit = [this](const SweepUnit& unit,
+                                    const SchemeSet& schemes) {
+    static const BatchSpec kEmptySpec;
+    auto rows = evaluate_batch_item(unit.point_spec ? *unit.point_spec : kEmptySpec,
+                                    unit.item, unit.preloaded, schemes,
+                                    spec_.optimal_budget, spec_.metrics);
+    stamp_rows(rows, unit, spec_.points[unit.point].label);
+    return rows;
+  };
+
+  std::size_t jobs = spec_.jobs;
+  if (jobs == 0) jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  jobs = std::min(jobs, std::max<std::size_t>(1, pending.size()));
+
+  if (jobs <= 1) {
+    const auto schemes = core::AllocatorRegistry::global().make_all(spec_.schemes);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      if (!done[i]) results[i] = evaluate_unit(units[i], schemes);
+      emit(std::move(results[i]));
+    }
+  } else {
+    // One queue across every point: `pending` is the work-stealing job list,
+    // `results`/`done` the reorder buffer the coordinator drains in grid
+    // order — no barrier between utilization points anywhere.
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable ready;
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    JoinGuard join_guard{workers};
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers.emplace_back([&] {
+        const auto schemes = core::AllocatorRegistry::global().make_all(spec_.schemes);
+        for (std::size_t q = next.fetch_add(1); q < pending.size();
+             q = next.fetch_add(1)) {
+          const std::size_t i = pending[q];
+          auto rows = evaluate_unit(units[i], schemes);
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            results[i] = std::move(rows);
+            done[i] = 1;
+          }
+          ready.notify_one();
+        }
+      });
+    }
+
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      std::unique_lock<std::mutex> lock(mutex);
+      ready.wait(lock, [&] { return done[i] != 0; });
+      auto rows = std::move(results[i]);
+      lock.unlock();
+      emit(std::move(rows));
+    }
+  }
+
+  for (auto* sink : sinks) sink->end();
+  summary.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+  return summary;
+}
+
+}  // namespace hydra::exp

@@ -1,0 +1,131 @@
+// The sweep layer: one declarative SweepSpec crossing schemes × grid points ×
+// replications, evaluated as a single work-stealing job queue.
+//
+// A sweep generalizes the ExplorationEngine's one-BatchSpec run to the
+// paper-style evaluation grids (Figs. 1–3: utilization × scheme × core
+// count).  Properties the benches and the regression harness rely on:
+//
+//   * One queue, no per-point barrier — a worker that finishes the last
+//     instance of point 3 immediately steals an instance of point 7, so a
+//     slow cell (the exhaustive optimal at high utilization) never idles the
+//     pool the way per-point engine runs did.
+//   * Determinism — every (point, instance) unit derives its seed from
+//     (base_seed, point index, instance index) alone and evaluation is pure,
+//     so the row stream is byte-identical for any --jobs value.
+//   * Stable order — rows reach the sinks point-major, instance-minor, then
+//     scheme order, via the same reorder-buffer technique as the engine.
+//   * Resumability — every row is stamped with a deterministic cell key
+//     ("p<point>:<label>:i<instance>").  `resume_path` points at the JSONL of
+//     a previous (possibly killed mid-run) invocation; cells whose full
+//     scheme row-set is present and matches the spec are spliced in verbatim
+//     instead of re-evaluated, and the final output is byte-identical to an
+//     uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "exp/engine.h"
+
+namespace hydra::exp {
+
+/// One grid point of a sweep.  Exactly one source applies, checked in this
+/// order: a preset `instance` (case studies), a `files` list (workload
+/// corpora), else `replications` synthetic draws at `total_utilization`.
+struct SweepPoint {
+  std::string label;                       ///< "" = auto ("m=<M> u=<U>", ...)
+  gen::SyntheticConfig synthetic;          ///< synthetic-source configuration
+  double total_utilization = 1.0;          ///< RT + security target (synthetic)
+  std::vector<std::string> files;          ///< file source, overrides synthetic
+  std::optional<core::Instance> instance;  ///< preset source, overrides both
+};
+
+struct SweepSpec {
+  /// Registry names evaluated per instance, in this order.
+  std::vector<std::string> schemes = {"hydra", "single-core"};
+  std::vector<SweepPoint> points;
+  std::size_t replications = 1;   ///< synthetic instances per point
+  std::uint64_t base_seed = 1;    ///< sweep-level seed
+  int max_attempts = 64;          ///< Eq. (1) redraw budget per instance
+  std::size_t jobs = 1;           ///< worker threads; 0 = hardware concurrency
+  std::size_t optimal_budget = 4096;  ///< per-scheme search-space skip budget
+  std::vector<RowMetric> metrics;     ///< extra per-row metric hooks
+  /// JSONL checkpoint of a previous invocation; completed cells are spliced
+  /// in instead of re-evaluated.  "" (or a missing file) means a cold start.
+  std::string resume_path;
+
+  /// Appends a synthetic grid point per utilization value — the Fig. 2/3
+  /// "sweep total utilization on platform `config`" idiom in one call.
+  void add_utilization_grid(const gen::SyntheticConfig& config,
+                            const std::vector<double>& utilizations);
+
+  /// Appends one file-sourced point for a workload corpus (see
+  /// expand_workload_files for the directory/glob semantics).
+  void add_corpus_point(const std::string& path_or_glob, std::string label = "");
+};
+
+/// The paper's utilization axis: `steps` equally spaced multiples of
+/// `increment`·M, i.e. {1·inc·M, …, steps·inc·M} (Fig. 2: 39 steps of
+/// 0.025·M).
+std::vector<double> utilization_axis(std::size_t num_cores, std::size_t steps = 39,
+                                     double increment = 0.025);
+
+/// The deterministic per-point seed: one more splitmix64 level above
+/// instance_seed, so point p's instance k never collides with point q's.
+std::uint64_t sweep_point_seed(std::uint64_t base_seed, std::size_t point_index);
+
+/// The cell key stamped on every row: "p<point>:<label>:i<instance>".  The
+/// resume loader only splices a checkpointed cell whose key, seed, labels and
+/// scheme set all match the current spec, so editing the spec invalidates
+/// exactly the cells it changes.
+std::string sweep_cell_key(std::size_t point_index, const std::string& point_label,
+                           std::size_t instance_index);
+
+/// Parses a JSONL checkpoint into rows grouped by cell key, tolerating a
+/// truncated final line (the row that was mid-write when the run died).
+/// A missing file yields an empty map — "resume from nothing" is a cold
+/// start, so the same command line works for the first and the Nth attempt.
+std::map<std::string, std::vector<BatchRow>> load_sweep_checkpoint(
+    const std::string& path);
+
+struct SweepSummary {
+  std::size_t points = 0;         ///< grid points in the spec
+  std::size_t cells = 0;          ///< (point, instance) units
+  std::size_t resumed_cells = 0;  ///< units spliced from the checkpoint
+  std::size_t evaluated = 0;      ///< rows with status "ok"
+  std::size_t feasible = 0;       ///< ok rows with a feasible, validated result
+  std::size_t skipped = 0;        ///< rows with status "skipped"
+  std::size_t errors = 0;         ///< rows with status "error" or "no-instance"
+  double wall_ms = 0.0;
+  std::vector<BatchRow> rows;     ///< every row, in emission order
+};
+
+class Sweep {
+ public:
+  /// Validates the spec up front (scheme names against the registry, at least
+  /// one point, a non-zero replication count) and assigns the default labels,
+  /// so cell keys are fixed from construction on.  Throws
+  /// std::invalid_argument.
+  ///
+  /// The resume checkpoint (if any) is read HERE, not in run() — so callers
+  /// may pass the same path as checkpoint and output file: construct the
+  /// Sweep first, then open the (truncating) output sink, then run.
+  explicit Sweep(SweepSpec spec);
+
+  /// Runs the whole grid, streaming rows to every sink in stable order.
+  /// Sinks are invoked from the coordinating thread only.
+  SweepSummary run(const std::vector<ResultSink*>& sinks = {}) const;
+
+  /// The spec with defaulted labels filled in (what cell keys are built from).
+  const SweepSpec& spec() const { return spec_; }
+
+ private:
+  SweepSpec spec_;
+  std::map<std::string, std::vector<BatchRow>> checkpoint_;
+};
+
+}  // namespace hydra::exp

@@ -26,6 +26,29 @@ Summary summarize(const std::vector<double>& samples) {
   return s;
 }
 
+double percentile_sorted(const std::vector<double>& sorted_samples, double p) {
+  HYDRA_REQUIRE(!sorted_samples.empty(), "percentile needs at least one sample");
+  HYDRA_REQUIRE(p >= 0.0 && p <= 1.0, "percentile level must be in [0, 1]");
+  HYDRA_REQUIRE(sorted_samples.front() <= sorted_samples.back(),
+                "percentile_sorted requires ascending samples");
+  const std::size_t n = sorted_samples.size();
+  if (n == 1) return sorted_samples.front();
+  // h = p·(n−1): the fractional rank.  Using the (n−1) span (and not n) is
+  // what keeps p = 0 and p = 1 exactly on the extreme samples instead of one
+  // position past them — the off-by-one the boundary tests pin down.
+  const double h = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted_samples.back();  // p == 1 (or fp round-up)
+  const double frac = h - static_cast<double>(lo);
+  return sorted_samples[lo] + frac * (sorted_samples[lo + 1] - sorted_samples[lo]);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  HYDRA_REQUIRE(!samples.empty(), "percentile needs at least one sample");
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
 MeanCi mean_ci95(const std::vector<double>& samples) {
   const Summary s = summarize(samples);
   MeanCi ci;

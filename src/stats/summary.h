@@ -18,6 +18,21 @@ struct Summary {
 /// Throws on empty input.
 Summary summarize(const std::vector<double>& samples);
 
+/// Linear-interpolation percentile (the R-7 / NumPy "linear" definition):
+/// with the samples sorted ascending, rank h = p·(n−1) and the result is
+/// x[⌊h⌋] + (h − ⌊h⌋)·(x[⌊h⌋+1] − x[⌊h⌋]).  Degenerate cases are exact:
+/// n = 1 returns the sample for every p, p = 0 the minimum, p = 1 the
+/// maximum, and an even-n median averages the two middle samples.  The input
+/// need not be sorted (a copy is sorted internally).  Throws on empty input
+/// or p outside [0, 1].
+double percentile(std::vector<double> samples, double p);
+
+/// percentile() over already-ascending samples, without the copy/sort — the
+/// aggregation layer sorts once and reads several levels.  Requires sorted
+/// input (the contract checks the boundary samples; interior disorder is the
+/// caller's responsibility).
+double percentile_sorted(const std::vector<double>& sorted_samples, double p);
+
 /// Normal-approximation 95 % confidence interval for the mean:
 /// mean ± 1.96·s/√n (s = sample standard deviation).  Degenerates to a point
 /// for n = 1.  Throws on empty input.

@@ -81,7 +81,10 @@ std::vector<std::int64_t> CliParser::get_int_list(const std::string& name,
         comma == std::string::npos ? v.substr(pos) : v.substr(pos, comma - pos);
     if (!tok.empty()) {
       try {
-        out.push_back(std::stoll(tok));
+        std::size_t used = 0;
+        const std::int64_t value = std::stoll(tok, &used);
+        if (used != tok.size()) throw std::invalid_argument(tok);  // "2x4" etc.
+        out.push_back(value);
       } catch (const std::exception&) {
         throw std::invalid_argument("option --" + name + " expects integers, got '" + tok + "'");
       }
@@ -91,6 +94,38 @@ std::vector<std::int64_t> CliParser::get_int_list(const std::string& name,
   }
   if (out.empty()) {
     throw std::invalid_argument("option --" + name + " expects a non-empty integer list");
+  }
+  return out;
+}
+
+std::vector<double> CliParser::get_double_list(const std::string& name,
+                                               std::vector<double> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<double> out;
+  const std::string& v = it->second;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const auto comma = v.find(',', pos);
+    const std::string tok =
+        comma == std::string::npos ? v.substr(pos) : v.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      // std::stod alone accepts trailing garbage ("0.4x0.8" parses as 0.4);
+      // require the whole token to be consumed so typos fail loudly.
+      try {
+        std::size_t used = 0;
+        const double value = std::stod(tok, &used);
+        if (used != tok.size()) throw std::invalid_argument(tok);
+        out.push_back(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("option --" + name + " expects numbers, got '" + tok + "'");
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("option --" + name + " expects a non-empty number list");
   }
   return out;
 }

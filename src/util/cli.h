@@ -29,6 +29,11 @@ class CliParser {
   std::vector<std::int64_t> get_int_list(const std::string& name,
                                          std::vector<std::int64_t> fallback) const;
 
+  /// Comma-separated list of numbers, e.g. --utilizations 0.4,0.8,1.6 —
+  /// custom sweep axes without touching code.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> fallback) const;
+
   /// Comma-separated list of strings with surrounding whitespace trimmed,
   /// e.g. --schemes hydra,single-core,optimal.  Empty tokens are dropped; an
   /// explicitly given but empty list is an error.

@@ -72,6 +72,64 @@ TEST(FormatDouble, NonFiniteValuesStayVisible) {
   EXPECT_EQ(hexp::json_number(2.5), "2.5");
 }
 
+TEST(JsonlRow, ParsesBackExactlyWhatTheSinkEmits) {
+  auto row = sample_row();
+  row.cell = "p2:m=2 u=1.2:i3";
+  row.point_index = 2;
+  row.point_label = "m=2 u=1.2";
+  row.target_utilization = 1.2;
+  row.note = "line\nbreak \"quoted\" \\slash";
+  row.metrics.emplace_back("mean_detection_ms", 123.5);
+  row.metrics.emplace_back("p95_detection_ms", 456.25);
+
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  sink.row(row);
+  const std::string line = os.str().substr(0, os.str().size() - 1);  // strip '\n'
+
+  const auto parsed = hexp::parse_jsonl_row(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell, row.cell);
+  EXPECT_EQ(parsed->point_index, row.point_index);
+  EXPECT_EQ(parsed->point_label, row.point_label);
+  EXPECT_EQ(parsed->seed, row.seed);
+  EXPECT_EQ(parsed->note, row.note);
+  ASSERT_EQ(parsed->metrics.size(), 2u);
+  EXPECT_EQ(parsed->metrics[0].first, "mean_detection_ms");
+  EXPECT_DOUBLE_EQ(parsed->metrics[1].second, 456.25);
+
+  // Byte-exact round trip: re-serializing the parsed row reproduces the line.
+  std::ostringstream os2;
+  hexp::JsonlSink sink2(os2);
+  sink2.row(*parsed);
+  EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(JsonlRow, FullPrecisionSeedSurvivesTheRoundTrip) {
+  auto row = sample_row();
+  row.seed = 0xFFFFFFFFFFFFFFF1ULL;  // above 2^53: dies if routed via double
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  sink.row(row);
+  const auto parsed = hexp::parse_jsonl_row(os.str().substr(0, os.str().size() - 1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seed, 0xFFFFFFFFFFFFFFF1ULL);
+}
+
+TEST(JsonlRow, RejectsTruncatedAndForeignLines) {
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  sink.row(sample_row());
+  const std::string line = os.str().substr(0, os.str().size() - 1);
+
+  EXPECT_FALSE(hexp::parse_jsonl_row(line.substr(0, line.size() / 2)).has_value());
+  EXPECT_FALSE(hexp::parse_jsonl_row("").has_value());
+  EXPECT_FALSE(hexp::parse_jsonl_row("not json at all").has_value());
+  EXPECT_FALSE(hexp::parse_jsonl_row("{\"unknown_key\":1}").has_value());
+  EXPECT_FALSE(hexp::parse_jsonl_row(line + "trailing").has_value());
+  EXPECT_TRUE(hexp::parse_jsonl_row(line).has_value());
+}
+
 TEST(CsvSink, QuotesCellsAndWritesHeaderOnce) {
   std::ostringstream os;
   hexp::CsvSink sink(os);
@@ -84,9 +142,9 @@ TEST(CsvSink, QuotesCellsAndWritesHeaderOnce) {
   sink.row(sample_row());
   sink.end();
   const std::string out = os.str();
-  EXPECT_EQ(out.find("instance,label"), 0u);                       // header first
-  EXPECT_EQ(out.find("instance,label", 1), std::string::npos);     // and only once
-  EXPECT_NE(out.find("\"needs, quoting\""), std::string::npos);    // RFC-4180 quoted
+  EXPECT_EQ(out.find("cell,instance,label"), 0u);                    // header first
+  EXPECT_EQ(out.find("cell,instance,label", 1), std::string::npos);  // and only once
+  EXPECT_NE(out.find("\"needs, quoting\""), std::string::npos);      // RFC-4180 quoted
 }
 
 TEST(TableSink, RendersRowsAndResetsBetweenRuns) {

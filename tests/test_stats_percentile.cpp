@@ -1,0 +1,79 @@
+// Edge-case tests for stats::percentile — the boundaries where off-by-one
+// interpolation bugs live: n = 1, n = 2, even-n medians, p = 0 / p = 1, and
+// consistency between the sorting and pre-sorted entry points.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace stats = hydra::stats;
+
+TEST(Percentile, SingleSampleReturnsItForEveryLevel) {
+  for (const double p : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(stats::percentile({42.0}, p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(Percentile, TwoSamplesInterpolateLinearly) {
+  const std::vector<double> samples = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(stats::percentile(samples, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(samples, 0.5), 15.0);  // even-n median
+  EXPECT_DOUBLE_EQ(stats::percentile(samples, 0.25), 12.5);
+  EXPECT_DOUBLE_EQ(stats::percentile(samples, 1.0), 20.0);
+}
+
+TEST(Percentile, EvenCountMedianAveragesTheMiddlePair) {
+  // n = 4: h = 0.5·3 = 1.5 ⇒ halfway between the 2nd and 3rd order statistic.
+  EXPECT_DOUBLE_EQ(stats::percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(stats::percentile({1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, 0.5), 3.5);
+}
+
+TEST(Percentile, OddCountMedianIsTheMiddleSample) {
+  EXPECT_DOUBLE_EQ(stats::percentile({1.0, 2.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(stats::percentile({5.0, 1.0, 9.0, 7.0, 3.0}, 0.5), 5.0);
+}
+
+TEST(Percentile, ExtremesHitTheExtremeSamplesExactly) {
+  // The off-by-one this pins down: ranks span p·(n−1), not p·n, so p = 1
+  // lands ON the maximum instead of one past it.
+  const std::vector<double> samples = {3.0, 1.0, 4.0, 1.5, 9.0};
+  EXPECT_DOUBLE_EQ(stats::percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(samples, 1.0), 9.0);
+}
+
+TEST(Percentile, UnsortedInputIsSortedInternally) {
+  EXPECT_DOUBLE_EQ(stats::percentile({30.0, 10.0, 20.0, 40.0}, 0.75), 32.5);
+}
+
+TEST(Percentile, QuarterPointsInterpolateBetweenRanks) {
+  // n = 4, p = 0.25: h = 0.75 ⇒ 10 + 0.75·(20 − 10).
+  EXPECT_DOUBLE_EQ(stats::percentile({10.0, 20.0, 30.0, 40.0}, 0.25), 17.5);
+  // n = 5, p = 0.95: h = 3.8 ⇒ 40 + 0.8·(50 − 40).
+  EXPECT_DOUBLE_EQ(stats::percentile({10.0, 20.0, 30.0, 40.0, 50.0}, 0.95), 48.0);
+}
+
+TEST(Percentile, RejectsEmptyInputAndOutOfRangeLevels) {
+  EXPECT_THROW(stats::percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(stats::percentile({1.0}, -0.01), std::invalid_argument);
+  EXPECT_THROW(stats::percentile({1.0}, 1.01), std::invalid_argument);
+}
+
+TEST(Percentile, SortedEntryPointMatchesTheSortingOne) {
+  const std::vector<double> sorted = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  for (const double p : {0.0, 0.1, 0.5, 0.9, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(stats::percentile_sorted(sorted, p), stats::percentile(sorted, p))
+        << "p=" << p;
+  }
+}
+
+TEST(Percentile, DuplicateHeavySamplesStayWithinRange) {
+  const std::vector<double> samples = {5.0, 5.0, 5.0, 5.0, 7.0};
+  for (const double p : {0.0, 0.5, 0.8, 1.0}) {
+    const double v = stats::percentile(samples, p);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LE(v, 7.0);
+  }
+  EXPECT_DOUBLE_EQ(stats::percentile(samples, 0.5), 5.0);
+}

@@ -1,0 +1,172 @@
+// Determinism and resume tests for the sweep layer:
+//   * --jobs 1 and --jobs 8 produce byte-identical row and aggregate JSONL;
+//   * resuming from a truncated checkpoint (a run killed mid-write)
+//     reproduces the uninterrupted output byte for byte;
+//   * a checkpoint from a different spec is rejected, never spliced;
+//   * JSONL rows round-trip exactly through parse_jsonl_row.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exp/aggregate.h"
+#include "exp/sweep.h"
+
+namespace hexp = hydra::exp;
+
+namespace {
+
+/// A small but non-trivial grid: 3 utilization points × 4 instances ×
+/// 3 schemes (including the exhaustive optimal, whose uneven per-cell cost
+/// is what would expose ordering races under work stealing).
+hexp::SweepSpec small_grid() {
+  hexp::SweepSpec spec;
+  spec.schemes = {"hydra", "single-core", "optimal"};
+  hydra::gen::SyntheticConfig config;
+  config.num_cores = 2;
+  config.min_sec_per_core = 1;
+  config.max_sec_per_core = 2;
+  spec.add_utilization_grid(config, {0.8, 1.4, 1.9});
+  spec.replications = 4;
+  spec.base_seed = 77;
+  return spec;
+}
+
+std::string run_rows(hexp::SweepSpec spec) {
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  hexp::Sweep(std::move(spec)).run({&sink});
+  return os.str();
+}
+
+std::string run_aggregate(hexp::SweepSpec spec) {
+  hexp::Aggregator aggregator;
+  hexp::Sweep(std::move(spec)).run({&aggregator});
+  std::ostringstream os;
+  aggregator.write_jsonl(os);
+  return os.str();
+}
+
+/// RAII temp file holding a (possibly truncated) checkpoint.
+struct TempCheckpoint {
+  std::string path;
+  explicit TempCheckpoint(const std::string& content)
+      : path(::testing::TempDir() + "hydra_sweep_checkpoint.jsonl") {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << content;
+  }
+  ~TempCheckpoint() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(SweepDeterminism, RowsAreByteIdenticalAcrossJobCounts) {
+  auto serial = small_grid();
+  serial.jobs = 1;
+  auto parallel = small_grid();
+  parallel.jobs = 8;
+  const auto rows1 = run_rows(serial);
+  const auto rows8 = run_rows(parallel);
+  EXPECT_FALSE(rows1.empty());
+  EXPECT_EQ(rows1, rows8);
+}
+
+TEST(SweepDeterminism, AggregatesAreByteIdenticalAcrossJobCounts) {
+  auto serial = small_grid();
+  serial.jobs = 1;
+  auto parallel = small_grid();
+  parallel.jobs = 8;
+  const auto agg1 = run_aggregate(serial);
+  const auto agg8 = run_aggregate(parallel);
+  EXPECT_FALSE(agg1.empty());
+  EXPECT_EQ(agg1, agg8);
+}
+
+TEST(SweepDeterminism, RowsRoundTripThroughParser) {
+  const auto rows = run_rows(small_grid());
+  std::ostringstream reserialized;
+  hexp::JsonlSink sink(reserialized);
+  std::istringstream in(rows);
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(in, line)) {
+    const auto row = hexp::parse_jsonl_row(line);
+    ASSERT_TRUE(row.has_value()) << line;
+    sink.row(*row);
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 0u);
+  EXPECT_EQ(reserialized.str(), rows);
+}
+
+TEST(SweepResume, TruncatedCheckpointReproducesUninterruptedRunExactly) {
+  const auto full = run_rows(small_grid());
+  ASSERT_FALSE(full.empty());
+
+  // Simulate a run killed mid-write: keep roughly 40% of the stream and cut
+  // in the MIDDLE of the next line — the torn line must be discarded, its
+  // cell re-evaluated.
+  const std::size_t cut = full.find('\n', full.size() * 2 / 5);
+  ASSERT_NE(cut, std::string::npos);
+  const std::string truncated = full.substr(0, cut + 1 + 25);
+  const TempCheckpoint checkpoint(truncated);
+
+  auto resumed_spec = small_grid();
+  resumed_spec.jobs = 4;
+  resumed_spec.resume_path = checkpoint.path;
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  const auto summary = hexp::Sweep(std::move(resumed_spec)).run({&sink});
+
+  EXPECT_GT(summary.resumed_cells, 0u);
+  EXPECT_LT(summary.resumed_cells, summary.cells);
+  EXPECT_EQ(os.str(), full);
+}
+
+TEST(SweepResume, CompleteCheckpointSkipsEveryCell) {
+  const auto full = run_rows(small_grid());
+  const TempCheckpoint checkpoint(full);
+
+  auto resumed_spec = small_grid();
+  resumed_spec.resume_path = checkpoint.path;
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  const auto summary = hexp::Sweep(std::move(resumed_spec)).run({&sink});
+  EXPECT_EQ(summary.resumed_cells, summary.cells);
+  EXPECT_EQ(os.str(), full);
+}
+
+TEST(SweepResume, CheckpointFromDifferentSeedIsRejected) {
+  const auto full = run_rows(small_grid());
+  const TempCheckpoint checkpoint(full);
+
+  auto other = small_grid();
+  other.base_seed = 78;  // different instances ⇒ every cached cell is stale
+  other.resume_path = checkpoint.path;
+  const auto summary = hexp::Sweep(std::move(other)).run();
+  EXPECT_EQ(summary.resumed_cells, 0u);
+}
+
+TEST(SweepResume, CheckpointWithFewerSchemesIsRejected) {
+  auto partial_spec = small_grid();
+  partial_spec.schemes = {"hydra", "single-core"};  // no optimal rows
+  const auto partial = run_rows(partial_spec);
+  const TempCheckpoint checkpoint(partial);
+
+  auto resumed_spec = small_grid();  // wants hydra, single-core AND optimal
+  resumed_spec.resume_path = checkpoint.path;
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  const auto summary = hexp::Sweep(std::move(resumed_spec)).run({&sink});
+  EXPECT_EQ(summary.resumed_cells, 0u);
+  EXPECT_EQ(os.str(), run_rows(small_grid()));
+}
+
+TEST(SweepResume, MissingCheckpointIsAColdStart) {
+  auto spec = small_grid();
+  spec.resume_path = ::testing::TempDir() + "does_not_exist_hydra.jsonl";
+  const auto summary = hexp::Sweep(std::move(spec)).run();
+  EXPECT_EQ(summary.resumed_cells, 0u);
+  EXPECT_EQ(summary.cells, 12u);  // 3 points × 4 replications
+}

@@ -1,0 +1,140 @@
+// Golden-corpus regression tests: a tiny sweep over the committed workload
+// corpus, with its aggregated results diffed against a committed golden
+// JSONL.  Any change to the analysis core, an allocator, the aggregation
+// statistics, or the serialization shows up as a one-line diff here.
+//
+// After an INTENTIONAL behaviour change, regenerate the golden file with
+//
+//     HYDRA_UPDATE_GOLDEN=1 ./build/test_sweep_golden
+//
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "exp/aggregate.h"
+#include "exp/sweep.h"
+
+namespace hexp = hydra::exp;
+
+namespace {
+
+const std::string kCorpusDir = std::string(HYDRA_SOURCE_DIR) + "/tests/corpus";
+const std::string kGoldenPath = kCorpusDir + "/golden_cells.jsonl";
+
+hexp::SweepSpec corpus_spec() {
+  hexp::SweepSpec spec;
+  spec.schemes = {"hydra", "single-core", "optimal"};
+  spec.add_corpus_point(kCorpusDir, "corpus");
+  spec.jobs = 2;
+  return spec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+TEST(WorkloadCorpus, DirectoryLoaderFindsEveryWorkloadSorted) {
+  const auto files = hexp::expand_workload_files(kCorpusDir);
+  ASSERT_EQ(files.size(), 6u);  // README.md and the golden JSONL are not workloads
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+  EXPECT_NE(files[0].find("easy_2core_a.txt"), std::string::npos);
+  // The .taskset extension is picked up alongside .txt.
+  bool has_taskset = false;
+  for (const auto& f : files) has_taskset |= f.find(".taskset") != std::string::npos;
+  EXPECT_TRUE(has_taskset);
+}
+
+TEST(WorkloadCorpus, GlobPatternSelectsSubset) {
+  const auto files = hexp::expand_workload_files(kCorpusDir + "/*_2core_*.txt");
+  ASSERT_EQ(files.size(), 4u);
+  for (const auto& f : files) {
+    EXPECT_NE(f.find("_2core_"), std::string::npos);
+    EXPECT_EQ(f.find(".taskset"), std::string::npos);  // extension-filtered
+  }
+}
+
+TEST(WorkloadCorpus, EmptyMatchesThrowInsteadOfSweepingNothing) {
+  EXPECT_THROW(hexp::expand_workload_files(kCorpusDir + "/*.nope"), std::runtime_error);
+  // A plain (non-glob) path passes through for per-item error reporting.
+  const auto passthrough = hexp::expand_workload_files(kCorpusDir + "/absent.txt");
+  ASSERT_EQ(passthrough.size(), 1u);
+}
+
+TEST(SweepGolden, CorpusSemanticsHoldRegardlessOfGoldenBytes) {
+  // Semantic anchors that must survive a golden regeneration: HYDRA accepts
+  // at least what SingleCore does, the overload instance is rejected by
+  // every scheme, and nothing errors.
+  const hexp::Sweep sweep(corpus_spec());
+  hexp::Aggregator aggregator;
+  sweep.run({&aggregator});
+  const auto cells = aggregator.cells();
+  ASSERT_EQ(cells.size(), 3u);
+
+  const auto* hydra_cell = hexp::Aggregator::find(cells, 0, "hydra");
+  const auto* single_cell = hexp::Aggregator::find(cells, 0, "single-core");
+  const auto* optimal_cell = hexp::Aggregator::find(cells, 0, "optimal");
+  ASSERT_NE(hydra_cell, nullptr);
+  ASSERT_NE(single_cell, nullptr);
+  ASSERT_NE(optimal_cell, nullptr);
+
+  EXPECT_EQ(hydra_cell->total, 6u);
+  EXPECT_EQ(hydra_cell->errors, 0u);
+  EXPECT_EQ(hydra_cell->no_instance, 0u);
+  EXPECT_GE(hydra_cell->accepted, single_cell->accepted);
+  EXPECT_LT(hydra_cell->accepted, 6u);   // the overload instance must fail
+  EXPECT_GT(hydra_cell->accepted, 0u);
+  // split_2core_d is the designed separator: HYDRA fits, SingleCore cannot.
+  EXPECT_GT(hydra_cell->accepted, single_cell->accepted);
+  // The exhaustive optimal never accepts less than the heuristic.
+  EXPECT_GE(optimal_cell->accepted, hydra_cell->accepted);
+}
+
+TEST(SweepGolden, AggregatedResultsMatchCommittedGolden) {
+  const hexp::Sweep sweep(corpus_spec());
+  hexp::AggregateOptions options;
+  options.reference_scheme = "optimal";
+  hexp::Aggregator aggregator(options);
+  sweep.run({&aggregator});
+
+  std::ostringstream actual;
+  aggregator.write_jsonl(actual);
+  ASSERT_FALSE(actual.str().empty());
+
+  if (std::getenv("HYDRA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath);
+    out << actual.str();
+    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath;
+  }
+
+  const std::string expected = read_file(kGoldenPath);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << kGoldenPath
+                                 << " — run with HYDRA_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(actual.str(), expected)
+      << "aggregated corpus sweep diverged from the committed golden JSONL; "
+         "if the change is intentional, regenerate with HYDRA_UPDATE_GOLDEN=1 "
+         "and review the diff";
+}
+
+TEST(SweepGolden, RowStreamIsIndependentOfJobCount) {
+  // The corpus sweep's raw row stream — not just the aggregate — must be
+  // byte-identical for any worker count.
+  auto serial_spec = corpus_spec();
+  serial_spec.jobs = 1;
+  auto parallel_spec = corpus_spec();
+  parallel_spec.jobs = 8;
+
+  std::ostringstream serial, parallel;
+  hexp::JsonlSink serial_sink(serial), parallel_sink(parallel);
+  hexp::Sweep(serial_spec).run({&serial_sink});
+  hexp::Sweep(parallel_spec).run({&parallel_sink});
+  EXPECT_FALSE(serial.str().empty());
+  EXPECT_EQ(serial.str(), parallel.str());
+}
