@@ -8,10 +8,18 @@
 // Usage: bench_table1_catalog [--cores 2,4,8]
 //                             [--schemes hydra,single-core,optimal]
 //                             [--jobs 1] [--out rows.jsonl] [--csv]
+//                             [--catalog-md] [--catalog-out docs/scheme-catalog.md]
+//
+// --catalog-md prints the full allocator registry (name + description) as the
+// markdown scheme catalog and exits; --catalog-out writes it to a file — the
+// committed docs/scheme-catalog.md is generated this way and kept in sync by
+// the test_scheme_catalog ctest suite.
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "core/registry.h"
 #include "exp/aggregate.h"
 #include "exp/sweep.h"
 #include "gen/uav.h"
@@ -23,6 +31,27 @@ namespace hexp = hydra::exp;
 
 int main(int argc, char** argv) {
   const hydra::util::CliParser cli(argc, argv);
+
+  const std::string catalog =
+      hydra::core::scheme_catalog_markdown(hydra::core::AllocatorRegistry::global());
+  if (cli.has("catalog-out")) {
+    const std::string path = cli.get_string("catalog-out", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return 2;
+    }
+    out << catalog;
+    std::cout << "wrote scheme catalog (" << hydra::core::AllocatorRegistry::global()
+                                                 .names()
+                                                 .size()
+              << " schemes) to " << path << "\n";
+    return 0;
+  }
+  if (cli.get_bool("catalog-md", false)) {
+    std::cout << catalog;
+    return 0;
+  }
   const auto cores = cli.get_int_list("cores", {2, 4, 8});
   const auto scheme_names =
       cli.get_string_list("schemes", {"hydra", "single-core", "optimal"});

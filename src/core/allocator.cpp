@@ -1,8 +1,20 @@
 #include "core/allocator.h"
 
+#include <limits>
+
 #include "sec/tightness.h"
 
 namespace hydra::core {
+
+Allocation Allocator::allocate_with_default_partition(const Instance& instance) const {
+  instance.validate();
+  const auto partition = rt::partition_rt_tasks(instance.rt_tasks, instance.num_cores);
+  if (!partition.has_value()) {
+    return infeasible_allocation(std::numeric_limits<std::size_t>::max(),
+                                 "RT tasks cannot be partitioned on M cores");
+  }
+  return allocate(instance, *partition);
+}
 
 namespace {
 

@@ -72,6 +72,13 @@ class Allocator {
  protected:
   explicit Allocator(std::string default_name) : name_(std::move(default_name)) {}
 
+  /// Shared body for the paper-evaluation convenience overload: best-fit
+  /// partitions the RT tasks over all M cores and delegates to
+  /// allocate(instance, partition); infeasible when the RT tasks alone cannot
+  /// be partitioned.  Schemes whose placement dictates its own partition
+  /// shape (SingleCore) implement their overload directly instead.
+  Allocation allocate_with_default_partition(const Instance& instance) const;
+
  private:
   std::string name_;
 };

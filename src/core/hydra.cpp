@@ -120,14 +120,7 @@ Allocation HydraAllocator::allocate(const Instance& instance,
 }
 
 Allocation HydraAllocator::allocate(const Instance& instance) const {
-  instance.validate();
-  const auto partition = rt::partition_rt_tasks(instance.rt_tasks, instance.num_cores);
-  if (!partition.has_value()) {
-    Allocation a = infeasible_allocation(std::numeric_limits<std::size_t>::max(),
-                                         "RT tasks cannot be partitioned on M cores");
-    return a;
-  }
-  return allocate(instance, *partition);
+  return allocate_with_default_partition(instance);
 }
 
 std::string HydraAllocator::describe() const {

@@ -58,13 +58,7 @@ Allocation OptimalAllocator::allocate(const Instance& instance,
 }
 
 Allocation OptimalAllocator::allocate(const Instance& instance) const {
-  instance.validate();
-  const auto partition = rt::partition_rt_tasks(instance.rt_tasks, instance.num_cores);
-  if (!partition.has_value()) {
-    return infeasible_allocation(std::numeric_limits<std::size_t>::max(),
-                                 "RT tasks cannot be partitioned on M cores");
-  }
-  return allocate(instance, *partition);
+  return allocate_with_default_partition(instance);
 }
 
 double OptimalAllocator::search_space(const Instance& instance) const {

@@ -82,6 +82,76 @@ PeriodAdaptation adapt_period(const rt::SecurityTask& task, const rt::Interferen
   HYDRA_ASSERT(false, "unknown PeriodSolver");
 }
 
+std::size_t tighten_core_periods(const std::vector<rt::RtTask>& rt_on_core,
+                                 std::vector<CommittedSecurityTask>& tasks,
+                                 util::Millis blocking, std::size_t rounds,
+                                 PeriodSolver solver) {
+  HYDRA_REQUIRE(solver != PeriodSolver::kExactRta,
+                "tighten_core_periods serves the affine Eq. (5) bound; exact RTA "
+                "allocations tighten through adapt_period_exact");
+  std::size_t changed = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const rt::SecurityTask& task = tasks[i].task;
+
+      // The task's own Eq. (7) optimum against the tightened hp periods.
+      std::vector<rt::PlacedSecurityTask> hp;
+      hp.reserve(i);
+      for (std::size_t h = 0; h < i; ++h) {
+        hp.push_back(rt::PlacedSecurityTask{tasks[h].task.wcet, tasks[h].period});
+      }
+      const PeriodAdaptation own =
+          adapt_period(task, rt::interference_bound(rt_on_core, hp, blocking), solver);
+      if (!own.feasible) continue;  // saturated core: keep the (feasible) period
+
+      // Lower bounds from the not-yet-revisited lower-priority tasks: each τj
+      // must stay feasible at its CURRENT period Tj while τi shrinks, i.e.
+      // (1 + Tj/Ti)·Ci ≤ Tj − aj, where aj is τj's demand excluding τi.
+      util::Millis floor = own.period;
+      for (std::size_t j = i + 1; j < tasks.size(); ++j) {
+        const util::Millis tj = tasks[j].period;
+        double aj = tasks[j].task.wcet + blocking;
+        for (const auto& r : rt_on_core) aj += (1.0 + tj / r.period) * r.wcet;
+        for (std::size_t h = 0; h < j; ++h) {
+          if (h == i) continue;
+          aj += (1.0 + tj / tasks[h].period) * tasks[h].task.wcet;
+        }
+        const double slack = tj - aj - task.wcet;
+        if (slack <= util::kTimeEpsilon) {
+          floor = tasks[i].period;  // no room: τj sits on its constraint already
+          break;
+        }
+        floor = std::max(floor, task.wcet * tj / slack);
+      }
+
+      const util::Millis tightened =
+          std::max(task.period_des, std::min(tasks[i].period, floor));
+      if (tightened < tasks[i].period - util::kTimeEpsilon) ++changed;
+      tasks[i].period = std::min(tasks[i].period, tightened);
+    }
+  }
+  return changed;
+}
+
+void tighten_core_placements(const std::vector<rt::RtTask>& rt_on_core,
+                             const std::vector<std::size_t>& members,
+                             const std::vector<rt::SecurityTask>& security_tasks,
+                             std::vector<TaskPlacement>& placements, std::size_t rounds,
+                             PeriodSolver solver) {
+  if (members.empty()) return;
+  std::vector<CommittedSecurityTask> committed;
+  committed.reserve(members.size());
+  for (const std::size_t s : members) {
+    committed.push_back(CommittedSecurityTask{security_tasks[s], placements[s].period});
+  }
+  tighten_core_periods(rt_on_core, committed, 0.0, rounds, solver);
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    const std::size_t s = members[k];
+    placements[s].period = committed[k].period;
+    placements[s].tightness = security_tasks[s].period_des / committed[k].period;
+  }
+}
+
 PeriodAdaptation adapt_period_exact(const rt::SecurityTask& task,
                                     const std::vector<rt::RtTask>& rt_on_core,
                                     const std::vector<rt::PlacedSecurityTask>& hp_security,

@@ -20,6 +20,7 @@
 
 #include <optional>
 
+#include "core/instance.h"
 #include "rt/interference.h"
 #include "rt/task.h"
 #include "util/units.h"
@@ -65,5 +66,48 @@ PeriodAdaptation adapt_period_exact(const rt::SecurityTask& task,
 /// start-point construction.
 std::optional<util::Millis> min_feasible_period(const rt::SecurityTask& task,
                                                 const rt::InterferenceBound& bound);
+
+/// One security task already assigned to a core, with its currently committed
+/// period, as seen by the slack-aware tightening pass below.
+struct CommittedSecurityTask {
+  rt::SecurityTask task;
+  util::Millis period = 0.0;  ///< committed period, in [Tdes, Tmax]
+};
+
+/// Slack-aware opportunistic tightening of the committed periods on ONE core
+/// (the adaptive-allocation move shared by the Contego-style and
+/// period-adaptation-only schemes).
+///
+/// `tasks` must be in descending priority order with periods that are
+/// feasible for Eq. (6) against `rt_on_core` and each other.  Each round
+/// visits the tasks highest-priority first and shrinks each period toward
+/// Tdes as far as BOTH constraints allow:
+///
+///   * the task's own Eq. (7) optimum given the (already tightened)
+///     higher-priority periods, and
+///   * a closed-form lower bound keeping every lower-priority task feasible
+///     at its CURRENT period — tightening τi to Ti inflates each lp task j's
+///     interference by (1 + Tj/Ti)·Ci, so Ti ≥ Ci·Tj/(Tj − aj − Ci) where aj
+///     is j's demand from everything except τi.
+///
+/// Periods therefore never loosen, the set stays feasible by construction
+/// after every single commit, and extra `rounds` only tighten further
+/// (monotone in rounds — tested).  Returns the number of periods changed.
+std::size_t tighten_core_periods(const std::vector<rt::RtTask>& rt_on_core,
+                                 std::vector<CommittedSecurityTask>& tasks,
+                                 util::Millis blocking = 0.0, std::size_t rounds = 1,
+                                 PeriodSolver solver = PeriodSolver::kClosedForm);
+
+/// Allocation-level wrapper shared by the adaptive allocators: runs
+/// tighten_core_periods over the security tasks listed in `members`
+/// (descending priority order, all on the same core), reading the committed
+/// periods from `placements` and writing the tightened periods and
+/// tightnesses back.
+void tighten_core_placements(const std::vector<rt::RtTask>& rt_on_core,
+                             const std::vector<std::size_t>& members,
+                             const std::vector<rt::SecurityTask>& security_tasks,
+                             std::vector<TaskPlacement>& placements,
+                             std::size_t rounds = 1,
+                             PeriodSolver solver = PeriodSolver::kClosedForm);
 
 }  // namespace hydra::core

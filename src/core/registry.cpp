@@ -2,9 +2,12 @@
 
 #include <stdexcept>
 
+#include "core/contego.h"
 #include "core/hydra.h"
 #include "core/optimal.h"
+#include "core/period_adapt.h"
 #include "core/single_core.h"
+#include "core/util_fit.h"
 
 namespace hydra::core {
 
@@ -129,6 +132,40 @@ AllocatorRegistry build_global() {
                  options.joint.objective = JointObjective::kSumSurrogate;
                  return std::make_unique<OptimalAllocator>(options);
                });
+  registry.add("contego",
+               "Contego-style adaptive allocation: minimum-mode placement, "
+               "slack-aware opportunistic tightening",
+               [] { return std::make_unique<ContegoAllocator>(); });
+  registry.add("contego/no-adapt",
+               "ablation: Contego placement with every monitor left in minimum "
+               "mode (Tmax)",
+               [] {
+                 ContegoOptions options;
+                 options.adapt = false;
+                 return std::make_unique<ContegoAllocator>(options);
+               });
+  registry.add("period-adapt",
+               "period-adaptation-only baseline: fixed first-fit partition, "
+               "per-core slack-aware period optimization",
+               [] { return std::make_unique<PeriodAdaptAllocator>(); });
+  registry.add("period-adapt/gp",
+               "period adaptation with joint GP (signomial SCP) refinement of "
+               "the fixed partition",
+               [] {
+                 PeriodAdaptOptions options;
+                 options.joint_gp = true;
+                 return std::make_unique<PeriodAdaptAllocator>(options);
+               });
+  registry.add("util/worst-fit",
+               "utilization-aware worst-fit: least security-loaded feasible core",
+               [] { return std::make_unique<UtilFitAllocator>(); });
+  registry.add("util/best-fit",
+               "utilization-aware best-fit: most security-loaded feasible core",
+               [] {
+                 UtilFitOptions options;
+                 options.fit = UtilFit::kBestFit;
+                 return std::make_unique<UtilFitAllocator>(options);
+               });
   return registry;
 }
 
@@ -137,6 +174,24 @@ AllocatorRegistry build_global() {
 AllocatorRegistry& AllocatorRegistry::global() {
   static AllocatorRegistry registry = build_global();
   return registry;
+}
+
+std::string scheme_catalog_markdown(const AllocatorRegistry& registry) {
+  std::string out;
+  out += "# Scheme catalog\n\n";
+  out += "Every allocation scheme registered in `AllocatorRegistry::global()`, in\n";
+  out += "registration order.  The name is the stable identifier accepted by every\n";
+  out += "`--schemes` flag and stamped verbatim on result rows.\n\n";
+  out += "**Generated file — do not edit by hand.**  Regenerate after touching the\n";
+  out += "registry with `./build/bench_table1_catalog --catalog-out "
+         "docs/scheme-catalog.md`\n";
+  out += "(or `HYDRA_UPDATE_CATALOG=1 ./build/test_scheme_catalog`); the ctest suite\n";
+  out += "`test_scheme_catalog` fails whenever this file and the registry disagree.\n\n";
+  out += "| Name | Description |\n|---|---|\n";
+  for (const auto& name : registry.names()) {
+    out += "| `" + name + "` | " + registry.description(name) + " |\n";
+  }
+  return out;
 }
 
 }  // namespace hydra::core

@@ -16,9 +16,19 @@
 //     single-core/joint      + joint GP refinement of the dedicated core
 //     optimal                exhaustive assignment search, signomial SCP
 //     optimal/sum-surrogate  exhaustive search, sum-surrogate GP objective
+//     contego                Contego-style adaptive allocation (minimum-mode
+//                            placement + slack-aware opportunistic tightening)
+//     contego/no-adapt       ablation: every monitor stays in minimum mode
+//     period-adapt           period-adaptation-only baseline (fixed first-fit
+//                            partition, per-core period optimization)
+//     period-adapt/gp        + joint GP (signomial SCP) refinement
+//     util/worst-fit         place on the least security-loaded feasible core
+//     util/best-fit          place on the most security-loaded feasible core
 //
 // New schemes register with `add` (typically at startup); registered names
 // are stable identifiers that appear verbatim in result rows and sinks.
+// docs/allocator-authoring.md walks through adding one end to end;
+// docs/scheme-catalog.md is the generated catalog of this registry.
 #pragma once
 
 #include <functional>
@@ -71,5 +81,13 @@ class AllocatorRegistry {
 
   std::vector<Entry> entries_;
 };
+
+/// Renders the registry as the markdown scheme catalog committed at
+/// docs/scheme-catalog.md (name + description, registration order).  A pure
+/// function of the registry contents, so `test_scheme_catalog` can diff the
+/// committed file against the live registry byte for byte.  Regenerate with
+/// `bench_table1_catalog --catalog-out docs/scheme-catalog.md` (or
+/// `HYDRA_UPDATE_CATALOG=1 ./build/test_scheme_catalog`).
+std::string scheme_catalog_markdown(const AllocatorRegistry& registry);
 
 }  // namespace hydra::core

@@ -1,6 +1,7 @@
 #include "exp/aggregate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "util/contracts.h"
@@ -40,6 +41,9 @@ CellDistribution distribution(std::vector<double> samples,
   dist.stddev = s.stddev;
   dist.min = s.min;
   dist.max = s.max;
+  const auto ci = stats::mean_ci95(samples);
+  dist.ci95_lo = ci.lo;
+  dist.ci95_hi = ci.hi;
   std::sort(samples.begin(), samples.end());
   dist.percentiles.reserve(levels.size());
   for (const double p : levels) {
@@ -55,11 +59,14 @@ void write_distribution(std::ostream& os, const CellDistribution& dist,
                         const std::vector<double>& levels) {
   os << "{\"count\":" << dist.count;
   if (dist.count == 0) {
-    os << ",\"mean\":null,\"stddev\":null,\"min\":null,\"max\":null";
+    os << ",\"mean\":null,\"stddev\":null,\"ci95_lo\":null,\"ci95_hi\":null"
+          ",\"min\":null,\"max\":null";
     for (const double level : levels) os << ",\"" << percentile_key(level) << "\":null";
   } else {
     os << ",\"mean\":" << json_number(dist.mean)
        << ",\"stddev\":" << json_number(dist.stddev)
+       << ",\"ci95_lo\":" << json_number(dist.ci95_lo)
+       << ",\"ci95_hi\":" << json_number(dist.ci95_hi)
        << ",\"min\":" << json_number(dist.min)
        << ",\"max\":" << json_number(dist.max);
     for (std::size_t i = 0; i < levels.size(); ++i) {
@@ -135,6 +142,18 @@ CellStats Aggregator::finalize(const CellAccum& accum) const {
       accum.total == 0
           ? 0.0
           : static_cast<double>(accum.accepted) / static_cast<double>(accum.total);
+  if (accum.total > 0) {
+    // Binomial normal-approximation CI (mean_ci95 over the 0/1 accept
+    // indicator, in closed form: the indicator's sample variance is
+    // n·p·(1−p)/(n−1)), clamped to [0, 1] — a probability bound outside the
+    // unit interval is an artifact of the approximation, not a statistic.
+    const double n = static_cast<double>(accum.total);
+    const double p = cell.acceptance_ratio;
+    const double half =
+        accum.total > 1 ? 1.96 * std::sqrt(p * (1.0 - p) * n / (n - 1.0) / n) : 0.0;
+    cell.acceptance_ci95_lo = std::max(0.0, p - half);
+    cell.acceptance_ci95_hi = std::min(1.0, p + half);
+  }
   cell.tightness = distribution(accum.normalized_tightness, options_.percentiles);
   for (const auto& [name, samples] : accum.metric_samples) {
     cell.metrics.emplace(name, distribution(samples, options_.percentiles));
@@ -156,6 +175,9 @@ CellStats Aggregator::finalize(const CellAccum& accum) const {
         cell.gap_samples = s.count;
         cell.gap_mean_percent = s.mean;
         cell.gap_max_percent = s.max;
+        const auto ci = stats::mean_ci95(gaps);
+        cell.gap_ci95_lo_percent = ci.lo;
+        cell.gap_ci95_hi_percent = ci.hi;
       }
     }
   }
@@ -198,12 +220,16 @@ void Aggregator::write_jsonl(std::ostream& os) const {
        << ",\"errors\":" << cell.errors
        << ",\"no_instance\":" << cell.no_instance
        << ",\"acceptance_ratio\":" << json_number(cell.acceptance_ratio)
+       << ",\"acceptance_ci95_lo\":" << json_number(cell.acceptance_ci95_lo)
+       << ",\"acceptance_ci95_hi\":" << json_number(cell.acceptance_ci95_hi)
        << ",\"tightness\":";
     write_distribution(os, cell.tightness, options_.percentiles);
     if (cell.gap_samples > 0) {
       os << ",\"gap_samples\":" << cell.gap_samples
          << ",\"gap_mean_percent\":" << json_number(cell.gap_mean_percent)
-         << ",\"gap_max_percent\":" << json_number(cell.gap_max_percent);
+         << ",\"gap_max_percent\":" << json_number(cell.gap_max_percent)
+         << ",\"gap_ci95_lo_percent\":" << json_number(cell.gap_ci95_lo_percent)
+         << ",\"gap_ci95_hi_percent\":" << json_number(cell.gap_ci95_hi_percent);
     }
     if (!cell.metrics.empty()) {
       os << ",\"metrics\":{";

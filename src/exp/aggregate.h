@@ -35,13 +35,16 @@ struct AggregateOptions {
 };
 
 /// Distribution summary of one quantity inside one cell: stats::summary
-/// moments plus the requested percentile levels (parallel to
+/// moments, the stats::mean_ci95 normal-approximation confidence interval of
+/// the mean, and the requested percentile levels (parallel to
 /// AggregateOptions::percentiles).  `count == 0` means no samples — emitted
 /// as JSON nulls, never fake zeros.
 struct CellDistribution {
   std::size_t count = 0;
   double mean = 0.0;
   double stddev = 0.0;
+  double ci95_lo = 0.0;  ///< mean − 1.96·s/√n (== mean when n == 1)
+  double ci95_hi = 0.0;  ///< mean + 1.96·s/√n
   double min = 0.0;
   double max = 0.0;
   std::vector<double> percentiles;
@@ -63,6 +66,13 @@ struct CellStats {
   std::size_t errors = 0;       ///< status "error"
   std::size_t no_instance = 0;  ///< status "no-instance"
   double acceptance_ratio = 0.0;  ///< accepted / total (0 when total is 0)
+  /// 95 % CI of the acceptance ratio (binomial normal approximation, the
+  /// closed form of stats::mean_ci95 over the per-row accept indicator,
+  /// clamped to [0, 1]) — how much of an acceptance-ratio difference between
+  /// two schemes is replication noise.  Degenerate [ratio, ratio] when
+  /// total ≤ 1; zeros when the cell is empty.
+  double acceptance_ci95_lo = 0.0;
+  double acceptance_ci95_hi = 0.0;
 
   /// Normalized tightness over the accepted rows.
   CellDistribution tightness;
@@ -77,6 +87,8 @@ struct CellStats {
   std::size_t gap_samples = 0;
   double gap_mean_percent = 0.0;
   double gap_max_percent = 0.0;
+  double gap_ci95_lo_percent = 0.0;  ///< mean_ci95 over the joined gap samples
+  double gap_ci95_hi_percent = 0.0;
 
   /// One distribution per RowMetric name, over the accepted rows.
   std::map<std::string, CellDistribution> metrics;

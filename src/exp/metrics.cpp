@@ -1,0 +1,53 @@
+#include "exp/metrics.h"
+
+#include "util/units.h"
+
+namespace hydra::exp {
+
+namespace {
+
+enum class PeriodMode { kBest, kMin, kAdapted };
+
+PeriodMode mode_of(const core::TaskPlacement& placement, const rt::SecurityTask& task,
+                   double rel_tol) {
+  if (util::approx_equal(placement.period, task.period_des, rel_tol, rel_tol)) {
+    return PeriodMode::kBest;
+  }
+  if (util::approx_equal(placement.period, task.period_max, rel_tol, rel_tol)) {
+    return PeriodMode::kMin;
+  }
+  return PeriodMode::kAdapted;
+}
+
+double count_mode(const core::Instance& instance, const core::DesignPoint& point,
+                  PeriodMode mode, double rel_tol) {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    if (mode_of(point.allocation.placements[s], instance.security_tasks[s], rel_tol) ==
+        mode) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count);
+}
+
+}  // namespace
+
+std::vector<RowMetric> period_mode_metrics(double rel_tol) {
+  return {
+      RowMetric{"best_mode_tasks",
+                [rel_tol](const core::Instance& instance, const core::DesignPoint& point) {
+                  return count_mode(instance, point, PeriodMode::kBest, rel_tol);
+                }},
+      RowMetric{"min_mode_tasks",
+                [rel_tol](const core::Instance& instance, const core::DesignPoint& point) {
+                  return count_mode(instance, point, PeriodMode::kMin, rel_tol);
+                }},
+      RowMetric{"adapted_tasks",
+                [rel_tol](const core::Instance& instance, const core::DesignPoint& point) {
+                  return count_mode(instance, point, PeriodMode::kAdapted, rel_tol);
+                }},
+  };
+}
+
+}  // namespace hydra::exp

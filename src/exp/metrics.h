@@ -1,0 +1,28 @@
+// Reusable RowMetric hooks shared by benches and tests.
+//
+// RowMetrics (exp/engine.h) attach extra deterministic per-row measurements
+// to validated (instance, scheme) evaluations.  This header collects the
+// library-provided ones so benches declare them by name instead of re-rolling
+// the lambdas.
+#pragma once
+
+#include <vector>
+
+#include "exp/engine.h"
+
+namespace hydra::exp {
+
+/// Period-mode accounting for the adaptive allocator families (Contego's
+/// best/minimum monitoring modes): three RowMetrics counting, over the
+/// validated placements of a row,
+///
+///   * "best_mode_tasks" — monitors at their desired period (Ts ≈ Tdes, η ≈ 1),
+///   * "min_mode_tasks"  — monitors left at the loosest period (Ts ≈ Tmax),
+///   * "adapted_tasks"   — monitors strictly between the two modes.
+///
+/// The three counts always sum to NS.  `rel_tol` is the relative tolerance
+/// deciding when a period sits ON a mode boundary (solver output is exact for
+/// the closed form; the GP route lands within solver tolerance).
+std::vector<RowMetric> period_mode_metrics(double rel_tol = 1e-9);
+
+}  // namespace hydra::exp

@@ -15,12 +15,14 @@ TEST(AllocatorRegistry, GlobalContainsThePaperSchemesAndAblations) {
   for (const char* name :
        {"hydra", "hydra/gp", "hydra/exact-rta", "hydra/first-fit",
         "hydra/least-loaded", "hydra/worst-tightness", "hydra/tie=lowest-index",
-        "single-core", "single-core/joint", "optimal", "optimal/sum-surrogate"}) {
+        "single-core", "single-core/joint", "optimal", "optimal/sum-surrogate",
+        "contego", "contego/no-adapt", "period-adapt", "period-adapt/gp",
+        "util/worst-fit", "util/best-fit"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     EXPECT_FALSE(registry.description(name).empty()) << name;
   }
-  // At least the paper's three schemes plus two ablation variants.
-  EXPECT_GE(registry.names().size(), 5u);
+  // The paper's schemes, the HYDRA ablations, and the adaptive families.
+  EXPECT_GE(registry.names().size(), 15u);
 }
 
 TEST(AllocatorRegistry, EveryRegisteredNameConstructsAndAllocates) {

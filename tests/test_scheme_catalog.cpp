@@ -1,0 +1,62 @@
+// Keeps docs/scheme-catalog.md in sync with AllocatorRegistry::global().
+//
+// The committed catalog is generated (bench_table1_catalog --catalog-out);
+// this suite fails whenever the registry gains, loses, or re-describes a
+// scheme without the doc being regenerated.  After an intentional registry
+// change:
+//
+//     HYDRA_UPDATE_CATALOG=1 ./build/test_scheme_catalog
+//
+// rewrites the file in place (review the diff like any other code change).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/registry.h"
+
+namespace {
+
+const std::string kCatalogPath =
+    std::string(HYDRA_SOURCE_DIR) + "/docs/scheme-catalog.md";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+TEST(SchemeCatalog, MarkdownContainsEveryRegisteredScheme) {
+  const auto& registry = hydra::core::AllocatorRegistry::global();
+  const std::string markdown = hydra::core::scheme_catalog_markdown(registry);
+  for (const auto& name : registry.names()) {
+    EXPECT_NE(markdown.find("| `" + name + "` |"), std::string::npos) << name;
+    EXPECT_NE(markdown.find(registry.description(name)), std::string::npos) << name;
+  }
+  EXPECT_NE(markdown.find("# Scheme catalog"), std::string::npos);
+}
+
+TEST(SchemeCatalog, CommittedDocMatchesTheLiveRegistry) {
+  const std::string expected =
+      hydra::core::scheme_catalog_markdown(hydra::core::AllocatorRegistry::global());
+
+  if (std::getenv("HYDRA_UPDATE_CATALOG") != nullptr) {
+    std::ofstream out(kCatalogPath);
+    out << expected;
+    GTEST_SKIP() << "scheme catalog regenerated at " << kCatalogPath;
+  }
+
+  const std::string committed = read_file(kCatalogPath);
+  ASSERT_FALSE(committed.empty())
+      << "missing " << kCatalogPath
+      << " — generate it with ./build/bench_table1_catalog --catalog-out "
+         "docs/scheme-catalog.md";
+  EXPECT_EQ(committed, expected)
+      << "docs/scheme-catalog.md is out of sync with AllocatorRegistry::global(); "
+         "regenerate with HYDRA_UPDATE_CATALOG=1 ./build/test_scheme_catalog or "
+         "./build/bench_table1_catalog --catalog-out docs/scheme-catalog.md";
+}

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -24,9 +25,12 @@ namespace {
 const std::string kCorpusDir = std::string(HYDRA_SOURCE_DIR) + "/tests/corpus";
 const std::string kGoldenPath = kCorpusDir + "/golden_cells.jsonl";
 
+/// The paper's three schemes plus one representative of each new family, so
+/// the golden file pins the adaptive allocators' numerics too.
 hexp::SweepSpec corpus_spec() {
   hexp::SweepSpec spec;
-  spec.schemes = {"hydra", "single-core", "optimal"};
+  spec.schemes = {"hydra",   "single-core",  "optimal",
+                  "contego", "period-adapt", "util/worst-fit"};
   spec.add_corpus_point(kCorpusDir, "corpus");
   spec.jobs = 2;
   return spec;
@@ -68,6 +72,66 @@ TEST(WorkloadCorpus, EmptyMatchesThrowInsteadOfSweepingNothing) {
   ASSERT_EQ(passthrough.size(), 1u);
 }
 
+TEST(WorkloadCorpus, GlobInMissingDirectoryThrows) {
+  // A pattern whose parent directory does not exist can never match, and an
+  // empty regression sweep is a misconfiguration — it must throw, not yield
+  // a zero-instance batch.
+  try {
+    hexp::expand_workload_files("/no/such/directory/*.txt");
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/no/such/directory"), std::string::npos);
+  }
+}
+
+TEST(WorkloadCorpus, DirectoryWithoutWorkloadFilesThrows) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "hydra_empty_corpus_test";
+  std::filesystem::create_directories(dir);
+  // A stray non-workload file must not count.
+  std::ofstream(dir / "notes.md") << "not a workload\n";
+  EXPECT_THROW(hexp::expand_workload_files(dir.string()), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WorkloadCorpus, MalformedWorkloadLineBecomesPerItemError) {
+  // A file that exists but fails to parse is NOT a sweep-level failure: the
+  // materializer reports it per item, and the sweep turns it into
+  // "no-instance" rows so the rest of the corpus still runs.
+  const auto dir = std::filesystem::temp_directory_path() / "hydra_malformed_test";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "broken.txt";
+  std::ofstream(path) << "cores 2\nrt r1 10 40\nsec s1 not-a-number 500 5000\n";
+
+  hexp::BatchSpec spec;
+  spec.files = {path.string()};
+  hexp::BatchItem item;
+  item.index = 0;
+  item.file = path.string();
+  const auto materialized = hexp::materialize(spec, item);
+  EXPECT_FALSE(materialized.instance.has_value());
+  EXPECT_FALSE(materialized.error.empty());
+  EXPECT_NE(materialized.error.find("line"), std::string::npos)
+      << "error should carry the offending line: " << materialized.error;
+
+  hexp::SweepSpec sweep_spec;
+  sweep_spec.schemes = {"hydra"};
+  hexp::SweepPoint point;
+  point.files = {path.string()};
+  point.label = "malformed";
+  sweep_spec.points.push_back(point);
+  hexp::Aggregator aggregator;
+  const auto summary = hexp::Sweep(sweep_spec).run({&aggregator});
+  ASSERT_EQ(summary.rows.size(), 1u);
+  EXPECT_EQ(summary.rows[0].status, "no-instance");
+  EXPECT_FALSE(summary.rows[0].note.empty());
+  const auto cells = aggregator.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].no_instance, 1u);
+  EXPECT_EQ(cells[0].accepted, 0u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SweepGolden, CorpusSemanticsHoldRegardlessOfGoldenBytes) {
   // Semantic anchors that must survive a golden regeneration: HYDRA accepts
   // at least what SingleCore does, the overload instance is rejected by
@@ -76,14 +140,20 @@ TEST(SweepGolden, CorpusSemanticsHoldRegardlessOfGoldenBytes) {
   hexp::Aggregator aggregator;
   sweep.run({&aggregator});
   const auto cells = aggregator.cells();
-  ASSERT_EQ(cells.size(), 3u);
+  ASSERT_EQ(cells.size(), 6u);
 
   const auto* hydra_cell = hexp::Aggregator::find(cells, 0, "hydra");
   const auto* single_cell = hexp::Aggregator::find(cells, 0, "single-core");
   const auto* optimal_cell = hexp::Aggregator::find(cells, 0, "optimal");
+  const auto* contego_cell = hexp::Aggregator::find(cells, 0, "contego");
+  const auto* period_cell = hexp::Aggregator::find(cells, 0, "period-adapt");
+  const auto* worst_fit_cell = hexp::Aggregator::find(cells, 0, "util/worst-fit");
   ASSERT_NE(hydra_cell, nullptr);
   ASSERT_NE(single_cell, nullptr);
   ASSERT_NE(optimal_cell, nullptr);
+  ASSERT_NE(contego_cell, nullptr);
+  ASSERT_NE(period_cell, nullptr);
+  ASSERT_NE(worst_fit_cell, nullptr);
 
   EXPECT_EQ(hydra_cell->total, 6u);
   EXPECT_EQ(hydra_cell->errors, 0u);
@@ -95,6 +165,19 @@ TEST(SweepGolden, CorpusSemanticsHoldRegardlessOfGoldenBytes) {
   EXPECT_GT(hydra_cell->accepted, single_cell->accepted);
   // The exhaustive optimal never accepts less than the heuristic.
   EXPECT_GE(optimal_cell->accepted, hydra_cell->accepted);
+  // The adaptive families run clean on the corpus and nobody swallows the
+  // overload instance.
+  for (const auto* cell : {contego_cell, period_cell, worst_fit_cell}) {
+    EXPECT_EQ(cell->total, 6u);
+    EXPECT_EQ(cell->errors, 0u);
+    EXPECT_LT(cell->accepted, 6u);
+    EXPECT_GT(cell->accepted, 0u);
+  }
+  // Binomial acceptance CI straddles the ratio on every cell.
+  for (const auto& cell : cells) {
+    EXPECT_LE(cell.acceptance_ci95_lo, cell.acceptance_ratio + 1e-12);
+    EXPECT_GE(cell.acceptance_ci95_hi, cell.acceptance_ratio - 1e-12);
+  }
 }
 
 TEST(SweepGolden, AggregatedResultsMatchCommittedGolden) {
