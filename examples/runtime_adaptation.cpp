@@ -1,0 +1,163 @@
+// Runtime mode-switching walkthrough: allocate the UAV case study with the
+// Contego-style adaptive scheme, print the design-time mode table it commits
+// (minimum mode = Tmax, adapted mode = the tightened periods), then EXECUTE
+// the adaptation at runtime — the per-core ModeController watches sliding-
+// window idle slack and flips each monitor between its two modes at job
+// boundaries — and compare what an attacker experiences under the fallback,
+// the live controller, and the frozen design-time periods.
+//
+// The finale is a hand-rolled shared-core scenario where the RT load leaves
+// NO analysis-visible slack but its jobs finish below WCET at runtime — the
+// controller discovers slack the schedulability analysis could never promise,
+// which is exactly the situation mode switching exists for.
+//
+// Usage: ./build/runtime_adaptation [--cores 2] [--trials 150]
+//            [--horizon-s 300] [--seed 3] [--tighten 0.25] [--relax 0.05]
+#include <iostream>
+
+#include "core/contego.h"
+#include "core/mode_table.h"
+#include "gen/uav.h"
+#include "io/table.h"
+#include "sim/attack.h"
+#include "sim/mode_switch.h"
+#include "stats/summary.h"
+#include "util/cli.h"
+
+namespace core = hydra::core;
+namespace io = hydra::io;
+namespace sim = hydra::sim;
+
+int main(int argc, char** argv) {
+  const hydra::util::CliParser cli(argc, argv);
+  const auto m = static_cast<std::size_t>(cli.get_int("cores", 2));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 150));
+  const auto horizon_s = static_cast<std::uint64_t>(cli.get_int("horizon-s", 300));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  const auto instance = hydra::gen::uav_case_study(m);
+  const auto allocation = core::ContegoAllocator().allocate(instance);
+  if (!allocation.feasible) {
+    std::cerr << "unschedulable: " << allocation.failure_reason << "\n";
+    return 1;
+  }
+
+  // --- The design-time commitment: two feasible period vectors. ---
+  const auto table = core::build_mode_table(instance, allocation);
+  io::print_banner(std::cout, "Mode table committed by contego (M = " +
+                                  std::to_string(m) + ")");
+  io::Table modes({"monitor", "core", "min mode Tmax (ms)", "adapted mode (ms)",
+                   "headroom"});
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    modes.add_row({instance.security_tasks[s].name, std::to_string(table.modes[s].core),
+                   io::fmt(table.modes[s].min_period, 0),
+                   io::fmt(table.modes[s].adapted_period, 0),
+                   table.has_headroom(s) ? "yes" : "no"});
+  }
+  modes.print(std::cout);
+  std::cout << table.switchable_tasks() << " of " << instance.security_tasks.size()
+            << " monitors can switch at runtime.\n";
+
+  // --- Execute the adaptation and watch the controller work. ---
+  sim::DetectionConfig config;
+  config.horizon = horizon_s * 1000u * hydra::util::kTicksPerMilli;
+  config.trials = trials;
+  config.seed = seed;
+  // Single-victim scope: the paper's worst-case-across-monitors scope is
+  // dominated by the slowest monitor (whose Tmax barely tightens on the UAV
+  // set); per-victim latency shows what adaptation buys each monitor.
+  config.scope = sim::AttackScope::kSingleTask;
+  sim::ModeControllerConfig controller;
+  controller.tighten_threshold = cli.get_double("tighten", 0.25);
+  controller.relax_threshold = cli.get_double("relax", 0.05);
+
+  const auto adaptive =
+      sim::measure_detection_times_adaptive(instance, allocation, config, controller);
+  const std::size_t nr = instance.rt_tasks.size();
+
+  io::print_banner(std::cout, "Controller behaviour over " +
+                                  std::to_string(horizon_s) + " s");
+  io::Table residency({"monitor", "min-mode jobs", "adapted jobs",
+                       "adapted residency", "switches"});
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    residency.add_row(
+        {instance.security_tasks[s].name,
+         std::to_string(adaptive.modes.min_jobs[nr + s]),
+         std::to_string(adaptive.modes.adapted_jobs[nr + s]),
+         io::fmt(adaptive.modes.adapted_fraction(nr + s), 3),
+         std::to_string(adaptive.modes.switches[nr + s])});
+  }
+  residency.print(std::cout);
+  std::cout << "first switches: ";
+  std::size_t shown = 0;
+  for (const auto& ev : adaptive.modes.events) {
+    if (shown++ == 6) break;
+    std::cout << instance.security_tasks[ev.task - nr].name << (ev.to_adapted ? "+" : "-")
+              << "@" << hydra::util::to_millis(ev.at) << "ms ";
+  }
+  std::cout << "(" << adaptive.modes.total_switches() << " total)\n";
+
+  // --- What the attacker sees: fallback vs live controller vs frozen. ---
+  const auto fallback = sim::measure_detection_times(
+      instance, core::min_mode_allocation(instance, allocation), config);
+  const auto frozen = sim::measure_detection_times(instance, allocation, config);
+
+  io::print_banner(std::cout, "Detection latency, " + std::to_string(trials) +
+                                  " attacks (uniformly chosen victim monitor)");
+  io::Table detection({"policy", "mean (ms)", "p95 (ms)"});
+  const auto add_policy = [&](const std::string& name, const std::vector<double>& ms) {
+    detection.add_row({name, io::fmt(hydra::stats::summarize(ms).mean, 1),
+                       io::fmt(hydra::stats::percentile(ms, 0.95), 1)});
+  };
+  add_policy("minimum mode (fallback)", fallback.detection_ms);
+  add_policy("mode switching (live)", adaptive.detection.detection_ms);
+  add_policy("static adapted (frozen)", frozen.detection_ms);
+  detection.print(std::cout);
+
+  // --- Runtime slack the analysis cannot see: RT below WCET. ---
+  // One shared core, loaded to 80% by WCET analysis: at full WCET the idle
+  // fraction (0.2) never reaches the tighten threshold (0.3) and the monitor
+  // stays in minimum mode.  The same system with RT jobs finishing at 40-100%
+  // of WCET has runtime idle the analysis never promised — the controller
+  // spends it on monitoring frequency without leaving the two feasible modes.
+  const auto shared_core_run = [&](double exc_fraction_min) {
+    sim::ModeTask rt;
+    rt.task.name = "control_loop";
+    rt.task.wcet = 8 * hydra::util::kTicksPerMilli;
+    rt.task.period = 10 * hydra::util::kTicksPerMilli;
+    rt.task.deadline = rt.task.period;
+    rt.task.priority = 0;
+    rt.task.exec_fraction_min = exc_fraction_min;
+    sim::ModeTask monitor;
+    monitor.task.name = "monitor";
+    monitor.task.wcet = 1 * hydra::util::kTicksPerMilli;
+    monitor.task.period = 1000 * hydra::util::kTicksPerMilli;  // minimum mode
+    monitor.task.deadline = monitor.task.period;
+    monitor.task.priority = 1;
+    monitor.adapted_period = 100 * hydra::util::kTicksPerMilli;
+    sim::ModeSwitchOptions opts;
+    opts.horizon = 60u * 1000u * hydra::util::kTicksPerMilli;
+    opts.seed = seed;
+    opts.controller.tighten_threshold = 0.3;
+    opts.controller.relax_threshold = 0.1;
+    return sim::simulate_mode_switching({rt, monitor}, opts);
+  };
+  const auto at_wcet = shared_core_run(1.0);
+  const auto below_wcet = shared_core_run(0.4);
+  io::print_banner(std::cout, "Shared 80%-loaded core: slack that exists only at runtime");
+  io::Table shared({"RT execution", "monitor adapted residency", "switches",
+                    "monitor jobs", "deadline misses"});
+  const auto add_run = [&](const std::string& label, const sim::ModeSwitchResult& run) {
+    shared.add_row({label, io::fmt(run.stats.adapted_fraction(1), 3),
+                    std::to_string(run.stats.switches[1]),
+                    std::to_string(run.stats.min_jobs[1] + run.stats.adapted_jobs[1]),
+                    std::to_string(run.trace.deadline_misses())});
+  };
+  add_run("always WCET (analysis view)", at_wcet);
+  add_run("40-100% of WCET (runtime)", below_wcet);
+  shared.print(std::cout);
+  std::cout << "\nThe controller turns slack the schedulability analysis can never "
+               "promise into monitoring frequency — without ever leaving the two "
+               "analysis-feasible mode vectors.\n";
+  return 0;
+}

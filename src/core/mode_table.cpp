@@ -1,0 +1,60 @@
+#include "core/mode_table.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace hydra::core {
+
+bool ModeTable::has_headroom(std::size_t s) const {
+  HYDRA_REQUIRE(s < modes.size(), "mode-table index out of range");
+  return modes[s].adapted_period < modes[s].min_period - util::kTimeEpsilon;
+}
+
+std::size_t ModeTable::switchable_tasks() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < modes.size(); ++s) {
+    if (has_headroom(s)) ++n;
+  }
+  return n;
+}
+
+ModeTable build_mode_table(const Instance& instance, const Allocation& allocation) {
+  HYDRA_REQUIRE(allocation.feasible, "mode table requires a feasible allocation");
+  HYDRA_REQUIRE(allocation.placements.size() == instance.security_tasks.size(),
+                "allocation does not cover the security task set");
+
+  ModeTable table;
+  table.modes.reserve(instance.security_tasks.size());
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    const auto& task = instance.security_tasks[s];
+    const auto& place = allocation.placements[s];
+    HYDRA_REQUIRE(place.core < instance.num_cores,
+                  "security task '" + task.name + "' placed on nonexistent core");
+    HYDRA_REQUIRE(util::leq_tol(task.period_des, place.period) &&
+                      util::leq_tol(place.period, task.period_max),
+                  "security task '" + task.name + "' committed outside [Tdes, Tmax]");
+    SecurityMode mode;
+    mode.core = place.core;
+    mode.min_period = task.period_max;
+    // Clamp away the validator tolerance so the invariant holds exactly.
+    mode.adapted_period = std::min(place.period, task.period_max);
+    table.modes.push_back(mode);
+  }
+  return table;
+}
+
+Allocation min_mode_allocation(const Instance& instance, const Allocation& allocation) {
+  HYDRA_REQUIRE(allocation.feasible, "minimum mode requires a feasible allocation");
+  HYDRA_REQUIRE(allocation.placements.size() == instance.security_tasks.size(),
+                "allocation does not cover the security task set");
+  Allocation min_mode = allocation;
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    min_mode.placements[s].period = instance.security_tasks[s].period_max;
+    min_mode.placements[s].tightness = instance.security_tasks[s].min_tightness();
+  }
+  return min_mode;
+}
+
+}  // namespace hydra::core

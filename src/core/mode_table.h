@@ -1,0 +1,60 @@
+// Runtime monitoring-mode tables (the Contego two-mode model, arXiv:1705.00138).
+//
+// An adaptive allocator commits, at design time, TWO analysis-feasible period
+// vectors for the security tasks on their assigned cores:
+//
+//   * the *minimum mode* — every monitor at its loosest acceptable period
+//     Tmax (always-on baseline coverage, the fallback when the system is
+//     loaded), and
+//   * the *adapted mode* — the tightened periods the allocator's slack-aware
+//     pass produced (Ts ∈ [Tdes, Tmax], best-effort toward Tdes).
+//
+// The runtime mode-switching simulator (sim/mode_switch.h) flips each monitor
+// between the two vectors at job boundaries, driven by observed slack.  A
+// ModeTable is the design-time artifact handed across that seam: it is a pure
+// function of (instance, allocation), so ANY registered scheme — not just
+// `contego` — yields a mode table (schemes that do not adapt simply commit
+// adapted == placement period, possibly == Tmax).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace hydra::core {
+
+/// The two committed periods of one security task on its assigned core.
+/// Invariant: Tdes <= adapted_period <= min_period == Tmax (validated).
+struct SecurityMode {
+  std::size_t core = 0;               ///< the placement core (fixed at runtime)
+  util::Millis min_period = 0.0;      ///< minimum mode: the task's Tmax
+  util::Millis adapted_period = 0.0;  ///< adapted mode: the allocation's period
+};
+
+/// Per-security-task mode table, parallel to Instance::security_tasks.
+struct ModeTable {
+  std::vector<SecurityMode> modes;
+
+  /// True when task `s` has strictly tighter adapted than minimum mode, i.e.
+  /// runtime switching can actually change its rate.
+  bool has_headroom(std::size_t s) const;
+
+  /// Number of tasks with headroom.
+  std::size_t switchable_tasks() const;
+};
+
+/// Builds the mode table of a feasible allocation: minimum mode is each
+/// task's Tmax, adapted mode is the period the allocator committed.  Throws
+/// std::invalid_argument on infeasible allocations or placements outside the
+/// [Tdes, Tmax] box — an out-of-box period is an allocator bug, not a mode.
+ModeTable build_mode_table(const Instance& instance, const Allocation& allocation);
+
+/// The minimum-mode projection of a feasible allocation: identical cores,
+/// every monitor at its Tmax (tightness = Tdes/Tmax).  Loosening a feasible
+/// allocation's periods keeps it feasible, so the result needs no re-check.
+/// This is the always-feasible fallback baseline the adaptive metrics, the
+/// latency-dominance property test, and the walkthrough all compare against.
+Allocation min_mode_allocation(const Instance& instance, const Allocation& allocation);
+
+}  // namespace hydra::core

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "exp/engine.h"
+#include "sim/attack.h"
 
 namespace hydra::exp {
 
@@ -24,5 +25,48 @@ namespace hydra::exp {
 /// deciding when a period sits ON a mode boundary (solver output is exact for
 /// the closed form; the GP route lands within solver tolerance).
 std::vector<RowMetric> period_mode_metrics(double rel_tol = 1e-9);
+
+/// Configuration of the runtime-adaptation metric family below.  The
+/// detection seed/horizon/trials come from `detection`; the controller knobs
+/// from `controller` — both are baked into the metric closures, so the hooks
+/// stay pure functions of (instance, DesignPoint) as RowMetrics require.
+struct AdaptiveMetricsConfig {
+  sim::DetectionConfig detection;
+  sim::ModeControllerConfig controller;
+  /// Also emit the frozen-allocation baseline ("static_mean_detection_ms") —
+  /// the design-time bound runtime adaptation approaches from above.
+  bool include_static = true;
+  /// Also emit the static minimum-mode baseline ("min_mode_mean_detection_ms")
+  /// — the always-feasible fallback adaptation improves on.
+  bool include_min_mode = true;
+  /// Also emit the global-slack bound ("global_mean_detection_ms") — the
+  /// optimistic migration end of the design space.
+  bool include_global = false;
+};
+
+/// Detection latency UNDER runtime adaptation, as RowMetrics: for every
+/// accepted (instance, scheme) row the mode-switching engine replays the
+/// allocation's mode table (sim::measure_detection_times_adaptive) and the
+/// hooks report
+///
+///   * "adaptive_mean_detection_ms" / "adaptive_p95_detection_ms" — latency
+///     with the controller live,
+///   * "adaptive_switches" — committed mode switches across all monitors,
+///   * "adapted_residency" — mean adapted-mode residency fraction over the
+///     switchable monitors (0 when the allocation has no headroom),
+///
+/// plus the baselines selected in the config (static = the frozen committed
+/// periods, min-mode = everything at Tmax, global = global-slack migration).
+/// All hooks derive from one simulation bundle per row, memoized per worker
+/// thread — the cache only short-circuits recomputation of a pure function,
+/// so the sweep's byte-identity across --jobs is preserved.
+std::vector<RowMetric> adaptive_detection_metrics(const AdaptiveMetricsConfig& config);
+
+/// Single RowMetric: mean detection latency under global slack scheduling
+/// (sim::measure_detection_times_global) — the optimistic
+/// security-jobs-migrate-freely bound, directly comparable against a
+/// partitioned detection metric computed with the same DetectionConfig.
+RowMetric global_detection_metric(const sim::DetectionConfig& config,
+                                  std::string name = "global_mean_detection_ms");
 
 }  // namespace hydra::exp

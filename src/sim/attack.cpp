@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/mode_table.h"
 #include "rt/priority.h"
 #include "sim/engine.h"
 #include "sim/global_slack.h"
+#include "sim/mode_switch.h"
 #include "util/contracts.h"
 
 namespace hydra::sim {
@@ -47,7 +49,7 @@ std::vector<SimTask> build_sim_tasks(
     st.wcet = util::to_ticks(t.wcet);
     // Round the assigned period *up* to a whole tick: a longer period only
     // reduces demand, so analysis feasibility is preserved.
-    st.period = std::max<util::SimTime>(util::to_ticks(place.period), st.wcet);
+    st.period = std::max<util::SimTime>(util::to_ticks_ceil(place.period), st.wcet);
     st.deadline = st.period;
     st.core = place.core;
     st.priority = security_base + static_cast<int>(sec_rank[s]);
@@ -57,11 +59,6 @@ std::vector<SimTask> build_sim_tasks(
   return tasks;
 }
 
-namespace {
-
-/// Shared attack-sampling pass over a completed trace.  `tasks` is the
-/// simulator task list (RT first, then security) used to size the attack
-/// window.
 DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& tasks,
                                std::size_t nr, std::size_t ns, const DetectionConfig& config) {
   HYDRA_REQUIRE(config.trials > 0, "need at least one trial");
@@ -114,8 +111,6 @@ DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& t
   return result;
 }
 
-}  // namespace
-
 DetectionResult measure_detection_times(const core::Instance& instance,
                                         const core::Allocation& allocation,
                                         const DetectionConfig& config) {
@@ -142,6 +137,36 @@ DetectionResult measure_detection_times_global(const core::Instance& instance,
   const Trace trace = simulate_global_slack(global_tasks, sim_options);
   return sample_attacks(trace, tasks, instance.rt_tasks.size(),
                         instance.security_tasks.size(), config);
+}
+
+AdaptiveDetectionResult measure_detection_times_adaptive(
+    const core::Instance& instance, const core::Allocation& allocation,
+    const DetectionConfig& config, const ModeControllerConfig& controller) {
+  const core::ModeTable table = core::build_mode_table(instance, allocation);
+  const std::vector<ModeTask> mode_tasks = build_mode_tasks(instance, allocation, table);
+
+  ModeSwitchOptions sim_options;
+  sim_options.horizon = config.horizon;
+  sim_options.seed = config.seed;
+  sim_options.controller = controller;
+  ModeSwitchResult run = simulate_mode_switching(mode_tasks, sim_options);
+
+  // Size the attack window from the minimum-mode periods — the loosest rate
+  // the monitors can ever fall back to, so detection has room to complete no
+  // matter what the controller decided near the end of the horizon.
+  std::vector<SimTask> window_tasks;
+  window_tasks.reserve(mode_tasks.size());
+  for (const auto& mt : mode_tasks) window_tasks.push_back(mt.task);
+
+  AdaptiveDetectionResult result;
+  result.detection = sample_attacks(run.trace, window_tasks, instance.rt_tasks.size(),
+                                    instance.security_tasks.size(), config);
+  result.modes = std::move(run.stats);
+  const std::size_t nr = instance.rt_tasks.size();
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    if (mode_tasks[nr + s].switchable()) result.switchable_tasks.push_back(nr + s);
+  }
+  return result;
 }
 
 }  // namespace hydra::sim

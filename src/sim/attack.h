@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "sim/mode_switch.h"
 #include "sim/task.h"
 #include "util/rng.h"
 
@@ -64,5 +65,35 @@ DetectionResult measure_detection_times(const core::Instance& instance,
 DetectionResult measure_detection_times_global(const core::Instance& instance,
                                                const core::Allocation& allocation,
                                                const DetectionConfig& config);
+
+/// The attack-sampling pass the three measure_* entry points share: samples
+/// `config.trials` attack instants over a completed trace and reads off when
+/// the monitors re-scanned.  `tasks` is the simulator task list the trace was
+/// produced from (RT first, then security) — only used to size the attack
+/// window from the security periods, so for adaptive traces pass the
+/// MINIMUM-mode list (the conservative window).  Exposed so custom runtime
+/// policies can reuse the measurement protocol on their own traces.
+DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& tasks,
+                               std::size_t num_rt, std::size_t num_security,
+                               const DetectionConfig& config);
+
+/// Detection latency measured UNDER runtime adaptation rather than for a
+/// frozen period vector: builds the mode table of the allocation
+/// (minimum mode = Tmax, adapted mode = the committed periods), runs the
+/// mode-switching engine with `controller`, and samples attacks on the
+/// resulting trace.  The attack window is sized from the minimum-mode
+/// periods, so every trial also has a defined latency in the static
+/// minimum-mode baseline — the comparison the dominance property test makes.
+struct AdaptiveDetectionResult {
+  DetectionResult detection;
+  ModeStats modes;  ///< indices are sim-task indices (security task s at NR+s)
+  /// Sim-task indices of the monitors that can actually switch (mode-table
+  /// headroom survived tick rounding) — the population mode-residency
+  /// summaries should average over.
+  std::vector<std::size_t> switchable_tasks;
+};
+AdaptiveDetectionResult measure_detection_times_adaptive(
+    const core::Instance& instance, const core::Allocation& allocation,
+    const DetectionConfig& config, const ModeControllerConfig& controller = {});
 
 }  // namespace hydra::sim

@@ -1,0 +1,397 @@
+#include "sim/mode_switch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "sim/attack.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace hydra::sim {
+
+namespace {
+
+constexpr util::SimTime kNever = std::numeric_limits<util::SimTime>::max();
+
+/// A released-but-unfinished job on a core.  Unlike the fixed-rate engine the
+/// relative deadline is per job: it is the period the controller chose at the
+/// job's release boundary.
+struct LiveJob {
+  std::size_t task = 0;
+  std::size_t job_index = 0;
+  util::SimTime remaining = 0;
+  util::SimTime deadline = 0;  ///< relative, mode-dependent
+  bool started = false;
+};
+
+/// Core-local busy history for the sliding slack window: merged, chronological
+/// [from, to) execution intervals with an advancing prune index so a long
+/// horizon costs O(window) live entries.  `keep` must cover the window PLUS
+/// the furthest a decision instant can lag the clock (a non-preemptive job
+/// admits the releases it ran over only at its completion), so pruned
+/// segments can never intersect a future query.
+class BusyWindow {
+ public:
+  explicit BusyWindow(util::SimTime keep) : keep_(keep) {}
+
+  void add(util::SimTime from, util::SimTime to) {
+    if (to <= from) return;
+    if (!segments_.empty() && segments_.back().second == from) {
+      segments_.back().second = to;
+    } else {
+      segments_.emplace_back(from, to);
+    }
+    // Drop segments that can no longer intersect any future query window:
+    // queries end at decision instants in (to - keep_, to] and reach back at
+    // most keep_ ticks (the caller folded the admission lag into keep_).
+    const util::SimTime cutoff = to > 2 * keep_ ? to - 2 * keep_ : 0;
+    while (head_ < segments_.size() && segments_[head_].second <= cutoff) ++head_;
+    if (head_ > 1024 && head_ * 2 > segments_.size()) {
+      segments_.erase(segments_.begin(),
+                      segments_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  /// Busy ticks inside [from, to).
+  util::SimTime busy_in(util::SimTime from, util::SimTime to) const {
+    util::SimTime busy = 0;
+    for (std::size_t i = segments_.size(); i > head_; --i) {
+      const auto& seg = segments_[i - 1];
+      if (seg.second <= from) break;  // chronological: everything earlier too
+      const util::SimTime lo = std::max(seg.first, from);
+      const util::SimTime hi = std::min(seg.second, to);
+      if (hi > lo) busy += hi - lo;
+    }
+    return busy;
+  }
+
+ private:
+  util::SimTime keep_;
+  std::size_t head_ = 0;
+  std::vector<std::pair<util::SimTime, util::SimTime>> segments_;
+};
+
+/// Per-task controller state on one core.
+struct TaskMode {
+  bool switchable = false;
+  bool in_adapted = false;  ///< every task starts in minimum mode
+  util::SimTime dwell = 0;  ///< effective min_dwell for this task
+  std::optional<util::SimTime> last_switch;
+};
+
+void simulate_core(const std::vector<ModeTask>& tasks,
+                   const std::vector<std::size_t>& members,
+                   const ModeSwitchOptions& options, util::SimTime window,
+                   Trace& trace, ModeStats& stats, std::size_t core,
+                   util::Xoshiro256 rng) {
+  {
+    std::set<int> prios;
+    for (const std::size_t ti : members) {
+      HYDRA_REQUIRE(prios.insert(tasks[ti].task.priority).second,
+                    "duplicate priority on core " + std::to_string(core));
+    }
+  }
+  const ModeControllerConfig& ctl = options.controller;
+
+  std::vector<util::SimTime> next_release(tasks.size(), kNever);
+  std::vector<TaskMode> mode(tasks.size());
+  for (const std::size_t ti : members) {
+    const ModeTask& mt = tasks[ti];
+    if (mt.task.release_offset < options.horizon) {
+      next_release[ti] = mt.task.release_offset;
+    }
+    mode[ti].switchable = mt.switchable();
+    mode[ti].dwell = ctl.min_dwell > 0 ? ctl.min_dwell : mt.task.period;
+  }
+
+  std::vector<LiveJob> ready;
+  const util::SimTime hard_stop = options.horizon + options.grace;
+  util::SimTime now = 0;
+  util::SimTime busy = 0;
+  // A non-preemptive job delays release admission (and hence controller
+  // decisions) by up to its WCET past the clock; widen the retention guard so
+  // those late decisions still see their full window.
+  util::SimTime admission_lag = 0;
+  for (const std::size_t ti : members) {
+    if (!tasks[ti].task.preemptive) {
+      admission_lag = std::max(admission_lag, tasks[ti].task.wcet);
+    }
+  }
+  BusyWindow history(window + admission_lag);
+  std::optional<std::size_t> locked;  // started non-preemptive job, if any
+
+  const auto earliest_release = [&]() {
+    util::SimTime t = kNever;
+    for (const std::size_t ti : members) t = std::min(t, next_release[ti]);
+    return t;
+  };
+
+  const auto draw_exec = [&](const SimTask& task) -> util::SimTime {
+    if (task.exec_fraction_min >= 1.0) return task.wcet;
+    const double fraction = rng.uniform(task.exec_fraction_min, 1.0);
+    const double ticks = std::ceil(fraction * static_cast<double>(task.wcet));
+    return std::max<util::SimTime>(1, static_cast<util::SimTime>(ticks));
+  };
+
+  // The controller decision at task ti's release boundary `at`: a pure
+  // function of the core-local busy history and ti's own mode state.
+  const auto decide_mode = [&](std::size_t ti, util::SimTime at) {
+    TaskMode& m = mode[ti];
+    if (!m.switchable) return;
+    const util::SimTime span = std::min(at, window);
+    if (span == 0) return;  // no observed history yet: stay conservative
+    const util::SimTime busy_ticks = history.busy_in(at - span, at);
+    const double idle_fraction =
+        static_cast<double>(span - busy_ticks) / static_cast<double>(span);
+    bool want_adapted = m.in_adapted;
+    if (m.in_adapted) {
+      if (idle_fraction <= ctl.relax_threshold) want_adapted = false;
+    } else {
+      if (idle_fraction >= ctl.tighten_threshold) want_adapted = true;
+    }
+    if (want_adapted == m.in_adapted) return;
+    if (stats.switches[ti] >= ctl.switch_budget) return;
+    if (m.last_switch.has_value() && at - *m.last_switch < m.dwell) return;
+    m.in_adapted = want_adapted;
+    m.last_switch = at;
+    ++stats.switches[ti];
+    stats.events.push_back(ModeSwitchEvent{ti, at, want_adapted});
+  };
+
+  // Admits due releases strictly in release-time order (ties by member
+  // order), not per-task batches — a non-preemptive job can delay admission
+  // past several tasks' releases at once, and the switch-event stream is
+  // documented time-ascending per core.
+  const auto admit_releases = [&](util::SimTime up_to) {
+    while (true) {
+      std::optional<std::size_t> next;
+      for (const std::size_t ti : members) {
+        if (next_release[ti] <= up_to &&
+            (!next.has_value() || next_release[ti] < next_release[*next])) {
+          next = ti;
+        }
+      }
+      if (!next.has_value()) break;
+      {
+        const std::size_t ti = *next;
+        const ModeTask& mt = tasks[ti];
+        const util::SimTime at = next_release[ti];
+        decide_mode(ti, at);
+        const bool adapted = mode[ti].in_adapted;
+        const util::SimTime period = adapted ? mt.adapted_period : mt.task.period;
+        // Implicit-deadline monitors track their current rate; fixed tasks
+        // keep their configured deadline.
+        const util::SimTime deadline = mode[ti].switchable ? period : mt.task.deadline;
+        if (adapted) {
+          stats.adapted_residency[ti] += period;
+          ++stats.adapted_jobs[ti];
+        } else {
+          stats.min_residency[ti] += period;
+          ++stats.min_jobs[ti];
+        }
+        JobRecord rec;
+        rec.release = at;
+        trace.jobs[ti].push_back(rec);
+        ready.push_back(
+            LiveJob{ti, trace.jobs[ti].size() - 1, draw_exec(mt.task), deadline, false});
+        util::SimTime gap = period;
+        if (mt.task.release_jitter > 0) {
+          gap += rng.uniform_int(1, mt.task.release_jitter);
+        }
+        const util::SimTime nxt = at + gap;
+        next_release[ti] = (nxt < options.horizon) ? nxt : kNever;
+      }
+    }
+  };
+
+  const auto pick = [&]() -> std::optional<std::size_t> {
+    if (locked.has_value()) return locked;
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (!best.has_value() ||
+          tasks[ready[i].task].task.priority < tasks[ready[*best].task].task.priority) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  while (now < hard_stop) {
+    admit_releases(now);
+    const auto chosen = pick();
+    if (!chosen.has_value()) {
+      const util::SimTime nxt = earliest_release();
+      if (nxt == kNever) break;
+      now = nxt;
+      continue;
+    }
+
+    LiveJob& job = ready[*chosen];
+    const SimTask& task = tasks[job.task].task;
+    JobRecord& rec = trace.jobs[job.task][job.job_index];
+    if (!job.started) {
+      rec.start = now;
+      job.started = true;
+      if (!task.preemptive) locked = *chosen;
+    }
+
+    const util::SimTime completion_at = now + job.remaining;
+    util::SimTime run_until = completion_at;
+    if (task.preemptive) run_until = std::min(run_until, earliest_release());
+    run_until = std::min(run_until, hard_stop);
+
+    if (options.record_segments && run_until > now) {
+      if (!trace.segments.empty() && trace.segments.back().core == core &&
+          trace.segments.back().task == job.task && trace.segments.back().to == now) {
+        trace.segments.back().to = run_until;
+      } else {
+        trace.segments.push_back(ExecutionSegment{job.task, core, now, run_until});
+      }
+    }
+    history.add(now, run_until);
+    busy += run_until - now;
+    job.remaining -= run_until - now;
+    now = run_until;
+
+    if (job.remaining == 0) {
+      rec.completed = true;
+      rec.completion = now;
+      rec.deadline_missed = now > rec.release + job.deadline;
+      if (locked.has_value() && *locked == *chosen) locked = std::nullopt;
+      const std::size_t last = ready.size() - 1;
+      if (*chosen != last) {
+        ready[*chosen] = ready[last];
+        if (locked.has_value() && *locked == last) locked = *chosen;
+      }
+      ready.pop_back();
+    }
+  }
+
+  for (const LiveJob& job : ready) {
+    trace.jobs[job.task][job.job_index].deadline_missed = true;
+  }
+  trace.core_busy[core] = busy;
+}
+
+}  // namespace
+
+double ModeStats::adapted_fraction(std::size_t task) const {
+  HYDRA_REQUIRE(task < adapted_residency.size(), "task index out of range");
+  const util::SimTime total = min_residency[task] + adapted_residency[task];
+  if (total == 0) return 0.0;
+  return static_cast<double>(adapted_residency[task]) / static_cast<double>(total);
+}
+
+double ModeStats::mean_adapted_fraction(const std::vector<std::size_t>& only) const {
+  if (only.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::size_t task : only) sum += adapted_fraction(task);
+  return sum / static_cast<double>(only.size());
+}
+
+std::size_t ModeStats::total_switches() const {
+  std::size_t n = 0;
+  for (const auto s : switches) n += s;
+  return n;
+}
+
+ModeSwitchResult simulate_mode_switching(const std::vector<ModeTask>& tasks,
+                                         const ModeSwitchOptions& options) {
+  HYDRA_REQUIRE(options.horizon > 0, "simulation horizon must be positive");
+  HYDRA_REQUIRE(options.controller.relax_threshold < options.controller.tighten_threshold,
+                "hysteresis requires relax_threshold < tighten_threshold");
+  std::size_t num_cores = 0;
+  for (const auto& mt : tasks) {
+    const SimTask& t = mt.task;
+    HYDRA_REQUIRE(t.wcet > 0 && t.period > 0 && t.deadline > 0,
+                  "task '" + t.name + "' needs positive WCET/period/deadline");
+    HYDRA_REQUIRE(t.wcet <= t.deadline, "task '" + t.name + "' has WCET > deadline");
+    if (mt.adapted_period > 0) {
+      HYDRA_REQUIRE(mt.adapted_period >= t.wcet,
+                    "task '" + t.name + "' has adapted period below its WCET");
+      HYDRA_REQUIRE(mt.adapted_period <= t.period,
+                    "task '" + t.name + "' has adapted period above minimum mode");
+    }
+    num_cores = std::max(num_cores, t.core + 1);
+  }
+
+  ModeSwitchOptions effective = options;
+  if (effective.grace == 0) {
+    util::SimTime max_deadline = 0;
+    for (const auto& mt : tasks) max_deadline = std::max(max_deadline, mt.task.deadline);
+    effective.grace = max_deadline;
+  }
+
+  ModeSwitchResult result;
+  result.trace.horizon = options.horizon;
+  result.trace.jobs.assign(tasks.size(), {});
+  result.trace.core_busy.assign(num_cores, 0);
+  result.stats.switches.assign(tasks.size(), 0);
+  result.stats.min_residency.assign(tasks.size(), 0);
+  result.stats.adapted_residency.assign(tasks.size(), 0);
+  result.stats.min_jobs.assign(tasks.size(), 0);
+  result.stats.adapted_jobs.assign(tasks.size(), 0);
+
+  util::Xoshiro256 root_rng(options.seed);
+  for (std::size_t core = 0; core < num_cores; ++core) {
+    // Independent per-core streams, forked in core order — identical protocol
+    // to sim::simulate, so one core's draws never shift another's schedule.
+    util::Xoshiro256 core_rng = root_rng.fork();
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (tasks[i].task.core == core) members.push_back(i);
+    }
+    if (members.empty()) continue;
+    util::SimTime window = effective.controller.slack_window;
+    if (window == 0) {
+      // Auto: long enough that one minimum-mode hyperperiod of the slowest
+      // switchable monitor fits four times over.
+      for (const std::size_t ti : members) {
+        if (tasks[ti].switchable()) window = std::max(window, 4 * tasks[ti].task.period);
+      }
+      if (window == 0) window = 1;  // no switchable task: value is irrelevant
+    }
+    simulate_core(tasks, members, effective, window, result.trace, result.stats, core,
+                  std::move(core_rng));
+  }
+  return result;
+}
+
+std::vector<ModeTask> build_mode_tasks(const core::Instance& instance,
+                                       const core::Allocation& allocation,
+                                       const core::ModeTable& table) {
+  HYDRA_REQUIRE(table.modes.size() == instance.security_tasks.size(),
+                "mode table does not cover the security task set");
+  const std::vector<SimTask> base = build_sim_tasks(instance, allocation);
+  std::vector<ModeTask> tasks;
+  tasks.reserve(base.size());
+  const std::size_t nr = instance.rt_tasks.size();
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    ModeTask mt;
+    mt.task = base[i];
+    if (i >= nr) {
+      const std::size_t s = i - nr;
+      const core::SecurityMode& m = table.modes[s];
+      // Minimum mode: round Tmax up to a whole tick (a longer period only
+      // reduces demand — same convention as build_sim_tasks).
+      mt.task.period =
+          std::max<util::SimTime>(util::to_ticks_ceil(m.min_period), mt.task.wcet);
+      mt.task.deadline = mt.task.period;
+      if (table.has_headroom(s)) {
+        mt.adapted_period =
+            std::max<util::SimTime>(util::to_ticks_ceil(m.adapted_period), mt.task.wcet);
+        // Tick rounding can collapse the headroom; a collapsed pair is fixed.
+        if (mt.adapted_period >= mt.task.period) mt.adapted_period = 0;
+      }
+    }
+    tasks.push_back(std::move(mt));
+  }
+  return tasks;
+}
+
+}  // namespace hydra::sim

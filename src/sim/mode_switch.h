@@ -1,0 +1,134 @@
+// Runtime mode-switching simulation (the Contego adaptive story executed,
+// not just allocated — arXiv:1705.00138 §runtime, arXiv:1911.11937).
+//
+// The partitioned engine (sim/engine.h) replays ONE frozen period vector.
+// This layer executes a *policy*: every security task carries the two
+// design-time committed periods of its core::ModeTable entry — the minimum
+// mode (Tmax) and the adapted mode (the allocator's tightened period) — and a
+// per-core ModeController flips each task between them at job boundaries:
+//
+//   * The controller watches the core's idle slack over a sliding window
+//     ending at the decision instant.  A task in minimum mode tightens to its
+//     adapted period when the idle fraction reaches `tighten_threshold`; a
+//     task in adapted mode falls back when idle drops to `relax_threshold`.
+//     The gap between the two thresholds is the hysteresis band.
+//   * Decisions happen ONLY at that task's release boundaries (a job in
+//     flight never changes rate), are rate-limited per task by `min_dwell`
+//     ticks between committed switches, and stop for good once the task's
+//     `switch_budget` is exhausted.
+//   * Every task starts in minimum mode — the conservative always-feasible
+//     baseline — and tightens only on observed slack.
+//
+// Determinism: cores are simulated independently (partitioned scheduling,
+// fixed placements) with per-core forked RNG streams exactly like the
+// partitioned engine, and every controller decision is a pure function of the
+// core-local schedule history — so a fixed seed reproduces the trace, the
+// mode decisions, and the switch-event stream byte-for-byte, and results can
+// ride exp::Sweep worker threads unchanged (see docs/architecture.md,
+// "Runtime adaptation").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/mode_table.h"
+#include "sim/task.h"
+
+namespace hydra::sim {
+
+/// A simulator task plus its optional adapted-mode period.  `task.period` /
+/// `task.deadline` hold the MINIMUM-mode (loosest) values; `adapted_period`
+/// is the tighter rate the controller may switch to.  0 (or a value not
+/// strictly below the minimum-mode period) marks the task as fixed-rate —
+/// RT tasks and monitors without headroom never switch.
+struct ModeTask {
+  SimTask task;
+  util::SimTime adapted_period = 0;
+
+  /// True when the controller can actually change this task's rate: the one
+  /// definition of the fixed-vs-switchable distinction, shared by the engine,
+  /// the auto-window sizing, and the residency-summary population.
+  bool switchable() const { return adapted_period > 0 && adapted_period < task.period; }
+};
+
+/// Controller knobs, shared by every core's controller instance.
+struct ModeControllerConfig {
+  /// Sliding slack-window length; the idle fraction is measured over
+  /// [t − window, t] at decision instant t.  0 = auto: per core, 4× the
+  /// largest minimum-mode period among its switchable tasks.
+  util::SimTime slack_window = 0;
+  /// Idle fraction at/above which a minimum-mode task tightens.
+  double tighten_threshold = 0.25;
+  /// Idle fraction at/below which an adapted-mode task falls back.  Must be
+  /// strictly below tighten_threshold (the hysteresis band).
+  double relax_threshold = 0.05;
+  /// Minimum ticks between two committed switches of the same task.
+  /// 0 = auto: the task's own minimum-mode period.
+  util::SimTime min_dwell = 0;
+  /// Maximum committed switches per task over the whole run; once spent, the
+  /// task stays in its current mode.
+  std::size_t switch_budget = std::numeric_limits<std::size_t>::max();
+};
+
+struct ModeSwitchOptions {
+  util::SimTime horizon = 0;  ///< jobs are released strictly before this time
+  util::SimTime grace = 0;    ///< 0 = auto (largest minimum-mode deadline)
+  std::uint64_t seed = 0x5eed;
+  bool record_segments = false;  ///< fill Trace::segments (Gantt/CSV export)
+  ModeControllerConfig controller;
+};
+
+/// One committed mode switch (for hysteresis audits and event logs).
+struct ModeSwitchEvent {
+  std::size_t task = 0;
+  util::SimTime at = 0;       ///< the release boundary the switch happened on
+  bool to_adapted = false;    ///< true: min → adapted; false: adapted → min
+};
+
+/// What the controller did, task by task.  Residency is accounted per
+/// released job: a job released in mode m adds its CHOSEN PERIOD to mode m's
+/// residency.  The two fractions always sum to exactly 1; for jitter-free
+/// tasks the sum of both residencies additionally tiles the release timeline
+/// (with release_jitter > 0 the drawn extra gaps are attributed to neither
+/// mode, so the sum undercounts wall-clock coverage by the jitter total).
+struct ModeStats {
+  std::vector<std::size_t> switches;            ///< committed switches per task
+  std::vector<util::SimTime> min_residency;     ///< ticks committed at min rate
+  std::vector<util::SimTime> adapted_residency; ///< ticks committed at adapted rate
+  std::vector<std::size_t> min_jobs;            ///< jobs released in min mode
+  std::vector<std::size_t> adapted_jobs;        ///< jobs released in adapted mode
+  /// Committed switches, core-major (cores are simulated in index order),
+  /// time-ascending within each core.
+  std::vector<ModeSwitchEvent> events;
+
+  /// adapted / (min + adapted) residency of `task`; 0 when it never released.
+  double adapted_fraction(std::size_t task) const;
+  /// Mean adapted_fraction over the tasks selected by `only`; 0 when empty.
+  double mean_adapted_fraction(const std::vector<std::size_t>& only) const;
+  std::size_t total_switches() const;
+};
+
+struct ModeSwitchResult {
+  Trace trace;
+  ModeStats stats;
+};
+
+/// Runs the mode-switching schedule.  Same task-validity rules as
+/// sim::simulate plus: a non-zero adapted_period must lie in
+/// [wcet, minimum-mode period], and relax_threshold < tighten_threshold.
+/// Throws std::invalid_argument on violations.
+ModeSwitchResult simulate_mode_switching(const std::vector<ModeTask>& tasks,
+                                         const ModeSwitchOptions& options);
+
+/// Builds the mode-switching task list for an instance + feasible allocation:
+/// the same RT/security resolution as sim::build_sim_tasks, but security
+/// tasks run at their MINIMUM-mode (Tmax) period with the mode table's
+/// adapted period attached (0 when the table has no headroom for the task).
+/// Indices: RT tasks first, then security task s at index NR + s.
+std::vector<ModeTask> build_mode_tasks(const core::Instance& instance,
+                                       const core::Allocation& allocation,
+                                       const core::ModeTable& table);
+
+}  // namespace hydra::sim

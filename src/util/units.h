@@ -34,6 +34,17 @@ inline SimTime to_ticks(Millis ms) {
   return static_cast<SimTime>(ticks);
 }
 
+/// Converts milliseconds to simulator ticks, rounding UP — for quantities
+/// where rounding down would increase demand past what the analysis admitted
+/// (e.g. a task period: a longer period only reduces demand).
+inline SimTime to_ticks_ceil(Millis ms) {
+  HYDRA_REQUIRE(std::isfinite(ms) && ms >= 0.0, "time must be finite and non-negative");
+  const double ticks = std::ceil(ms * static_cast<double>(kTicksPerMilli));
+  HYDRA_REQUIRE(ticks <= static_cast<double>(std::numeric_limits<SimTime>::max()),
+                "time too large for simulator clock");
+  return static_cast<SimTime>(ticks);
+}
+
 /// Converts simulator ticks back to milliseconds (exact for values below 2^53).
 inline Millis to_millis(SimTime ticks) {
   return static_cast<Millis>(ticks) / static_cast<Millis>(kTicksPerMilli);

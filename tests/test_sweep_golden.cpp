@@ -47,18 +47,22 @@ std::string read_file(const std::string& path) {
 
 TEST(WorkloadCorpus, DirectoryLoaderFindsEveryWorkloadSorted) {
   const auto files = hexp::expand_workload_files(kCorpusDir);
-  ASSERT_EQ(files.size(), 6u);  // README.md and the golden JSONL are not workloads
+  ASSERT_EQ(files.size(), 10u);  // README.md and the golden JSONL are not workloads
   EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
-  EXPECT_NE(files[0].find("easy_2core_a.txt"), std::string::npos);
-  // The .taskset extension is picked up alongside .txt.
-  bool has_taskset = false;
-  for (const auto& f : files) has_taskset |= f.find(".taskset") != std::string::npos;
+  EXPECT_NE(files[0].find("boundary_eq1_2core_i.txt"), std::string::npos);
+  // All three workload extensions are picked up alongside .txt.
+  bool has_taskset = false, has_workload = false;
+  for (const auto& f : files) {
+    has_taskset |= f.find(".taskset") != std::string::npos;
+    has_workload |= f.find(".workload") != std::string::npos;
+  }
   EXPECT_TRUE(has_taskset);
+  EXPECT_TRUE(has_workload);
 }
 
 TEST(WorkloadCorpus, GlobPatternSelectsSubset) {
   const auto files = hexp::expand_workload_files(kCorpusDir + "/*_2core_*.txt");
-  ASSERT_EQ(files.size(), 4u);
+  ASSERT_EQ(files.size(), 7u);
   for (const auto& f : files) {
     EXPECT_NE(f.find("_2core_"), std::string::npos);
     EXPECT_EQ(f.find(".taskset"), std::string::npos);  // extension-filtered
@@ -135,7 +139,8 @@ TEST(WorkloadCorpus, MalformedWorkloadLineBecomesPerItemError) {
 TEST(SweepGolden, CorpusSemanticsHoldRegardlessOfGoldenBytes) {
   // Semantic anchors that must survive a golden regeneration: HYDRA accepts
   // at least what SingleCore does, the overload instance is rejected by
-  // every scheme, and nothing errors.
+  // every scheme, and nothing errors — including on the adversarial
+  // GP-edge-case and near-boundary Eq. (1) instances.
   const hexp::Sweep sweep(corpus_spec());
   hexp::Aggregator aggregator;
   sweep.run({&aggregator});
@@ -155,22 +160,25 @@ TEST(SweepGolden, CorpusSemanticsHoldRegardlessOfGoldenBytes) {
   ASSERT_NE(period_cell, nullptr);
   ASSERT_NE(worst_fit_cell, nullptr);
 
-  EXPECT_EQ(hydra_cell->total, 6u);
+  EXPECT_EQ(hydra_cell->total, 10u);
   EXPECT_EQ(hydra_cell->errors, 0u);
   EXPECT_EQ(hydra_cell->no_instance, 0u);
   EXPECT_GE(hydra_cell->accepted, single_cell->accepted);
-  EXPECT_LT(hydra_cell->accepted, 6u);   // the overload instance must fail
+  EXPECT_LT(hydra_cell->accepted, 10u);  // the overload instance must fail
   EXPECT_GT(hydra_cell->accepted, 0u);
-  // split_2core_d is the designed separator: HYDRA fits, SingleCore cannot.
+  // split_2core_d and boundary_eq1_2core_i are the designed separators:
+  // HYDRA's partitioned placement fits, SingleCore's dedicated-core split
+  // cannot fold the RT load onto M-1 cores.
   EXPECT_GT(hydra_cell->accepted, single_cell->accepted);
   // The exhaustive optimal never accepts less than the heuristic.
   EXPECT_GE(optimal_cell->accepted, hydra_cell->accepted);
-  // The adaptive families run clean on the corpus and nobody swallows the
-  // overload instance.
+  // The adaptive families run clean on the corpus — the near-singular GP
+  // boxes and the huge-span periods must not error anywhere — and nobody
+  // swallows the overload instance.
   for (const auto* cell : {contego_cell, period_cell, worst_fit_cell}) {
-    EXPECT_EQ(cell->total, 6u);
+    EXPECT_EQ(cell->total, 10u);
     EXPECT_EQ(cell->errors, 0u);
-    EXPECT_LT(cell->accepted, 6u);
+    EXPECT_LT(cell->accepted, 10u);
     EXPECT_GT(cell->accepted, 0u);
   }
   // Binomial acceptance CI straddles the ratio on every cell.
