@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
     cache.samples[{"m=" + std::to_string(instance.num_cores), point.scheme}] =
         res.detection_ms;
     return mean;
-  }});
+  }, hexp::detection_metric_identity(config)});
   // The §V migration bound rides the same queue: identical periods, but
   // security jobs may use any core's idle slack.
   spec.metrics.push_back(hexp::global_detection_metric(config, kGlobalMetricName));

@@ -19,9 +19,16 @@
 // (δ_HYDRA − δ_SingleCore)/δ_HYDRA × 100 % (positive = HYDRA better, bounded
 // by 100), the only reading consistent with the figure; see EXPERIMENTS.md.
 //
+// Multi-process fan-out: `--shard i/N` restricts the run to the cells the
+// deterministic cell-key partition assigns to shard i; the N shard outputs
+// (each stamped with a spec-fingerprint header) merged by hydra_merge are
+// byte-identical to the unsharded run's --out, and the merged file resumes
+// cleanly via --resume to re-print the tables without recomputing.
+//
 // Usage: bench_fig2_acceptance [--cores 2,4,8] [--tasksets 250] [--seed 7]
 //                              [--schemes hydra,single-core] [--jobs 1]
-//                              [--out sweep.jsonl] [--resume sweep.jsonl]
+//                              [--shard 0/1] [--out sweep.jsonl]
+//                              [--resume sweep.jsonl]
 //                              [--agg-out cells.jsonl] [--csv]
 #include <fstream>
 #include <iostream>
@@ -61,6 +68,24 @@ int main(int argc, char** argv) {
   spec.base_seed = seed;
   spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
   spec.resume_path = cli.get_string("resume", "");
+  const auto shard = hexp::parse_shard_spec(cli.get_string("shard", "0/1"));
+  spec.shard_index = shard.index;
+  spec.shard_count = shard.count;
+  if (shard.count > 1 && cli.has("agg-out")) {
+    // A shard sees a fraction of every cell's samples; its aggregate file
+    // would be indistinguishable from a full-grid one downstream.
+    std::cerr << "--agg-out is not available on a sharded run: merge the shard "
+                 "outputs with hydra_merge, then rerun with --resume "
+                 "merged.jsonl --agg-out\n";
+    return 2;
+  }
+  const std::string out_path = cli.get_string("out", "");
+  if (shard.count > 1 && out_path.size() >= 4 &&
+      out_path.compare(out_path.size() - 4, 4, ".csv") == 0) {
+    std::cerr << "--shard needs a JSONL --out (the shard header and "
+                 "hydra_merge have no CSV form)\n";
+    return 2;
+  }
   for (const auto m : cores) {
     gen::SyntheticConfig config;
     config.num_cores = static_cast<std::size_t>(m);
@@ -74,13 +99,23 @@ int main(int argc, char** argv) {
   std::unique_ptr<hexp::ResultSink> file_sink;
   std::vector<hexp::ResultSink*> sinks = {&aggregator};
   if (cli.has("out")) {
-    file_sink = hexp::make_file_sink(cli.get_string("out", ""));
+    // Sharded checkpoints open with a self-describing header so hydra_merge
+    // can verify the shard set belongs together and is complete.
+    const std::string header =
+        shard.count > 1 ? hexp::format_shard_header(sweep.shard_header()) : "";
+    file_sink = hexp::make_file_sink(cli.get_string("out", ""), header);
     sinks.push_back(file_sink.get());
   }
 
   io::print_banner(std::cout, "Fig. 2: improvement in acceptance ratio (" +
                                   scheme_names[0] + " vs " + scheme_names[1] + ")");
   std::cout << tasksets << " tasksets per utilization point.\n";
+  if (shard.count > 1) {
+    std::cout << "shard " << shard.index << "/" << shard.count << ": "
+              << sweep.shard_header().cells
+              << " of the grid's cells run here; merge the shard outputs with "
+                 "hydra_merge (tables below cover this shard only).\n";
+  }
 
   const auto summary = sweep.run(sinks);
   const auto cells = aggregator.cells();

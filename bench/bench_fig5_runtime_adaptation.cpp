@@ -29,8 +29,12 @@
 //            [--trials 120] [--horizon-s 200] [--det-seed 1]
 //            [--window-ms 0] [--tighten 0.25] [--relax 0.05]
 //            [--dwell-ms 0] [--switch-budget 0]
-//            [--jobs 1] [--out rows.jsonl] [--resume rows.jsonl]
+//            [--jobs 1] [--shard 0/1] [--out rows.jsonl] [--resume rows.jsonl]
 //            [--agg-out cells.jsonl] [--csv]
+//
+// `--shard i/N` fans the grid out across N processes (deterministic cell-key
+// partition; see exp/merge.h): merge the shard outputs with hydra_merge and
+// the result is byte-identical to the unsharded run.
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -100,6 +104,22 @@ int main(int argc, char** argv) {
   spec.base_seed = seed;
   spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
   spec.resume_path = cli.get_string("resume", "");
+  const auto shard = hexp::parse_shard_spec(cli.get_string("shard", "0/1"));
+  spec.shard_index = shard.index;
+  spec.shard_count = shard.count;
+  if (shard.count > 1 && cli.has("agg-out")) {
+    std::cerr << "--agg-out is not available on a sharded run: merge the shard "
+                 "outputs with hydra_merge, then rerun with --resume "
+                 "merged.jsonl --agg-out\n";
+    return 2;
+  }
+  const std::string out_path = cli.get_string("out", "");
+  if (shard.count > 1 && out_path.size() >= 4 &&
+      out_path.compare(out_path.size() - 4, 4, ".csv") == 0) {
+    std::cerr << "--shard needs a JSONL --out (the shard header and "
+                 "hydra_merge have no CSV form)\n";
+    return 2;
+  }
   spec.metrics = hexp::adaptive_detection_metrics(metrics_config);
   spec.add_utilization_grid(config, utilizations);
   const hexp::Sweep sweep(std::move(spec));
@@ -108,7 +128,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<hexp::ResultSink> file_sink;
   std::vector<hexp::ResultSink*> sinks = {&aggregator};
   if (cli.has("out")) {
-    file_sink = hexp::make_file_sink(cli.get_string("out", ""));
+    const std::string header =
+        shard.count > 1 ? hexp::format_shard_header(sweep.shard_header()) : "";
+    file_sink = hexp::make_file_sink(cli.get_string("out", ""), header);
     sinks.push_back(file_sink.get());
   }
 
@@ -118,6 +140,12 @@ int main(int argc, char** argv) {
   std::cout << tasksets << " tasksets per utilization point; "
             << metrics_config.detection.trials << " attacks per policy; horizon "
             << cli.get_int("horizon-s", 200) << " s.\n";
+  if (shard.count > 1) {
+    std::cout << "shard " << shard.index << "/" << shard.count << ": "
+              << sweep.shard_header().cells
+              << " of the grid's cells run here; merge the shard outputs with "
+                 "hydra_merge (tables below cover this shard only).\n";
+  }
 
   const auto summary = sweep.run(sinks);
   const auto cells = aggregator.cells();

@@ -37,6 +37,14 @@ namespace hydra::exp {
 struct RowMetric {
   std::string name;
   std::function<double(const core::Instance&, const core::DesignPoint&)> compute;
+  /// Canonical description of every parameter baked into `compute`'s closure
+  /// (trials, horizons, seeds, thresholds...).  Two metrics with the same
+  /// name but different parameters produce different row bytes, and this
+  /// string is the only way the sweep's spec fingerprint — and therefore the
+  /// shard-merge and resume safety checks — can see that.  Library metric
+  /// factories (exp/metrics.h) fill it; leave "" only for parameterless
+  /// hooks.
+  std::string identity;
 };
 
 /// Evaluates every scheme on one batch item: the pure function both the

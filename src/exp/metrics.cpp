@@ -14,6 +14,18 @@ namespace hydra::exp {
 
 namespace {
 
+/// Canonical parameter strings for RowMetric::identity — every knob that
+/// changes the metric's VALUES must appear, or the sweep fingerprint cannot
+/// tell two configurations apart (and a shard merge would silently mix
+/// them).
+std::string controller_identity(const sim::ModeControllerConfig& config) {
+  return "ctl(w=" + std::to_string(config.slack_window) +
+         ",up=" + format_double(config.tighten_threshold) +
+         ",down=" + format_double(config.relax_threshold) +
+         ",dwell=" + std::to_string(config.min_dwell) +
+         ",budget=" + std::to_string(config.switch_budget) + ")";
+}
+
 enum class PeriodMode { kBest, kMin, kAdapted };
 
 PeriodMode mode_of(const core::TaskPlacement& placement, const rt::SecurityTask& task,
@@ -139,12 +151,15 @@ const AdaptiveRowResults& cached_adaptive_row(const core::Instance& instance,
 
 std::vector<RowMetric> adaptive_detection_metrics(const AdaptiveMetricsConfig& config) {
   std::vector<RowMetric> metrics;
+  const std::string identity =
+      detection_metric_identity(config.detection) + controller_identity(config.controller);
   const auto add = [&](std::string name, double AdaptiveRowResults::*field) {
     metrics.push_back(RowMetric{
         std::move(name),
         [config, field](const core::Instance& instance, const core::DesignPoint& point) {
           return cached_adaptive_row(instance, point, config).*field;
-        }});
+        },
+        identity});
   };
   add("adaptive_mean_detection_ms", &AdaptiveRowResults::adaptive_mean);
   add("adaptive_p95_detection_ms", &AdaptiveRowResults::adaptive_p95);
@@ -162,6 +177,13 @@ std::vector<RowMetric> adaptive_detection_metrics(const AdaptiveMetricsConfig& c
   return metrics;
 }
 
+std::string detection_metric_identity(const sim::DetectionConfig& config) {
+  return "det(h=" + std::to_string(config.horizon) +
+         ",n=" + std::to_string(config.trials) +
+         ",seed=" + std::to_string(config.seed) +
+         ",scope=" + std::to_string(static_cast<int>(config.scope)) + ")";
+}
+
 RowMetric global_detection_metric(const sim::DetectionConfig& config, std::string name) {
   return RowMetric{
       std::move(name),
@@ -169,23 +191,28 @@ RowMetric global_detection_metric(const sim::DetectionConfig& config, std::strin
         return mean_of(
             sim::measure_detection_times_global(instance, point.allocation, config),
             "global");
-      }};
+      },
+      detection_metric_identity(config)};
 }
 
 std::vector<RowMetric> period_mode_metrics(double rel_tol) {
+  const std::string identity = "tol(" + format_double(rel_tol) + ")";
   return {
       RowMetric{"best_mode_tasks",
                 [rel_tol](const core::Instance& instance, const core::DesignPoint& point) {
                   return count_mode(instance, point, PeriodMode::kBest, rel_tol);
-                }},
+                },
+                identity},
       RowMetric{"min_mode_tasks",
                 [rel_tol](const core::Instance& instance, const core::DesignPoint& point) {
                   return count_mode(instance, point, PeriodMode::kMin, rel_tol);
-                }},
+                },
+                identity},
       RowMetric{"adapted_tasks",
                 [rel_tol](const core::Instance& instance, const core::DesignPoint& point) {
                   return count_mode(instance, point, PeriodMode::kAdapted, rel_tol);
-                }},
+                },
+                identity},
   };
 }
 

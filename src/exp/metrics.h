@@ -62,6 +62,11 @@ struct AdaptiveMetricsConfig {
 /// so the sweep's byte-identity across --jobs is preserved.
 std::vector<RowMetric> adaptive_detection_metrics(const AdaptiveMetricsConfig& config);
 
+/// Canonical RowMetric::identity string for a DetectionConfig — use it when
+/// hand-rolling a detection metric (bench_fig1) so the sweep fingerprint can
+/// distinguish runs with different horizons/trials/seeds/scopes.
+std::string detection_metric_identity(const sim::DetectionConfig& config);
+
 /// Single RowMetric: mean detection latency under global slack scheduling
 /// (sim::measure_detection_times_global) — the optimistic
 /// security-jobs-migrate-freely bound, directly comparable against a

@@ -338,8 +338,10 @@ namespace {
 
 class FileSink : public ResultSink {
  public:
-  FileSink(const std::string& path, bool jsonl) : stream_(path) {
+  FileSink(const std::string& path, bool jsonl, const std::string& header_line)
+      : stream_(path) {
     if (!stream_) throw std::runtime_error("cannot open result file: " + path);
+    if (!header_line.empty()) stream_ << header_line << '\n';
     if (jsonl) {
       inner_ = std::make_unique<JsonlSink>(stream_);
     } else {
@@ -366,12 +368,17 @@ bool ends_with(const std::string& text, const std::string& suffix) {
 
 }  // namespace
 
-std::unique_ptr<ResultSink> make_file_sink(const std::string& path) {
+std::unique_ptr<ResultSink> make_file_sink(const std::string& path,
+                                           const std::string& header_line) {
   if (ends_with(path, ".jsonl") || ends_with(path, ".json")) {
-    return std::make_unique<FileSink>(path, /*jsonl=*/true);
+    return std::make_unique<FileSink>(path, /*jsonl=*/true, header_line);
   }
   if (ends_with(path, ".csv")) {
-    return std::make_unique<FileSink>(path, /*jsonl=*/false);
+    if (!header_line.empty()) {
+      throw std::invalid_argument(
+          "shard headers are a JSONL concept; cannot prepend one to " + path);
+    }
+    return std::make_unique<FileSink>(path, /*jsonl=*/false, header_line);
   }
   throw std::invalid_argument("result file must end in .jsonl, .json or .csv: " + path);
 }

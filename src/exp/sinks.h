@@ -123,6 +123,11 @@ std::string json_number(double value);
 /// extension: ".jsonl"/".json" ⇒ JSONL, ".csv" ⇒ CSV; anything else throws
 /// std::invalid_argument.  Throws std::runtime_error when the file cannot be
 /// opened; flushes on destruction.
-std::unique_ptr<ResultSink> make_file_sink(const std::string& path);
+///
+/// A non-empty `header_line` (e.g. a formatted exp::SweepShardHeader) is
+/// written verbatim as the file's first line before any row — JSONL only;
+/// CSV has its own header row, so combining the two throws.
+std::unique_ptr<ResultSink> make_file_sink(const std::string& path,
+                                           const std::string& header_line = "");
 
 }  // namespace hydra::exp

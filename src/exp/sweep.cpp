@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <chrono>
 #include <condition_variable>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -50,6 +52,232 @@ std::string sweep_cell_key(std::size_t point_index, const std::string& point_lab
                            std::size_t instance_index) {
   return "p" + std::to_string(point_index) + ":" + point_label + ":i" +
          std::to_string(instance_index);
+}
+
+namespace {
+
+/// FNV-1a over a byte string — the shard partition and the spec fingerprint
+/// both need a hash that is bit-stable across platforms and standard-library
+/// versions, which rules out std::hash.
+std::uint64_t fnv1a64(const char* data, std::size_t size,
+                      std::uint64_t seed = 1469598103934665603ULL) {
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64(const std::string& bytes,
+                      std::uint64_t seed = 1469598103934665603ULL) {
+  return fnv1a64(bytes.data(), bytes.size(), seed);
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t sweep_shard_of(const std::string& cell_key, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(fnv1a64(cell_key) % shard_count);
+}
+
+ShardRef parse_shard_spec(const std::string& text) {
+  const auto fail = [&text]() -> ShardRef {
+    throw std::invalid_argument("--shard expects 'i/N' with 0 <= i < N, got '" +
+                                text + "'");
+  };
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    return fail();
+  }
+  ShardRef shard;
+  const char* begin = text.data();
+  auto result = std::from_chars(begin, begin + slash, shard.index);
+  if (result.ec != std::errc() || result.ptr != begin + slash) return fail();
+  result = std::from_chars(begin + slash + 1, begin + text.size(), shard.count);
+  if (result.ec != std::errc() || result.ptr != begin + text.size()) return fail();
+  if (shard.count == 0 || shard.index >= shard.count) return fail();
+  return shard;
+}
+
+std::string sweep_fingerprint(const SweepSpec& spec) {
+  // Canonical serialization of the row-byte-determining spec fields.  Fields
+  // are length-delimited by '\x1f' separators (never produced by
+  // format_double or registry names) so adjacent values cannot alias.
+  std::string canon = "hydra-sweep-v1";
+  const auto put = [&canon](const std::string& field) {
+    canon += '\x1f';
+    canon += field;
+  };
+  for (const auto& scheme : spec.schemes) put("s=" + scheme);
+  put("seed=" + std::to_string(spec.base_seed));
+  put("reps=" + std::to_string(spec.replications));
+  put("attempts=" + std::to_string(spec.max_attempts));
+  put("budget=" + std::to_string(spec.optimal_budget));
+  // Name AND identity: two metric families sharing names but baked with
+  // different parameters (trials, horizons, thresholds) yield different row
+  // bytes, and only the identity string reveals that.
+  for (const auto& metric : spec.metrics) {
+    put("metric=" + metric.name + "#" + metric.identity);
+  }
+  for (const auto& point : spec.points) {
+    put("point=" + point.label);
+    if (point.instance.has_value()) {
+      // The full task parameters, not just counts: editing one WCET between
+      // shard runs must change the fingerprint, or the merge would silently
+      // mix rows computed from different instances.
+      put("preset-cores=" + std::to_string(point.instance->num_cores));
+      for (const auto& task : point.instance->rt_tasks) {
+        put("rt-task=" + task.name + "," + format_double(task.wcet) + "," +
+            format_double(task.period) + "," + format_double(task.deadline));
+      }
+      for (const auto& task : point.instance->security_tasks) {
+        put("sec-task=" + task.name + "," + format_double(task.wcet) + "," +
+            format_double(task.period_des) + "," + format_double(task.period_max) +
+            "," + format_double(task.weight));
+      }
+      continue;
+    }
+    if (!point.files.empty()) {
+      // Path AND content: a workload file edited between shard runs yields
+      // different rows for the same cell keys, which only the bytes reveal.
+      // An unreadable file hashes as such — shards on a machine missing the
+      // corpus then disagree loudly instead of merging garbage.
+      for (const auto& file : point.files) {
+        put("file=" + file);
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+          put("file-content=unreadable");
+          continue;
+        }
+        std::uint64_t content_hash = 1469598103934665603ULL;
+        char buffer[4096];
+        while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+          content_hash =
+              fnv1a64(buffer, static_cast<std::size_t>(in.gcount()), content_hash);
+        }
+        put("file-content=" + hex64(content_hash));
+      }
+      continue;
+    }
+    const auto& synth = point.synthetic;
+    put("u=" + format_double(point.total_utilization));
+    put("m=" + std::to_string(synth.num_cores));
+    put("gen=" + std::to_string(static_cast<int>(synth.util_generator)));
+    put("rt=" + std::to_string(synth.min_rt_per_core) + ".." +
+        std::to_string(synth.max_rt_per_core));
+    put("sec=" + std::to_string(synth.min_sec_per_core) + ".." +
+        std::to_string(synth.max_sec_per_core));
+    put("rtT=" + format_double(synth.rt_period_lo) + ".." +
+        format_double(synth.rt_period_hi));
+    put("secT=" + format_double(synth.sec_period_des_lo) + ".." +
+        format_double(synth.sec_period_des_hi));
+    put("tmaxf=" + format_double(synth.sec_period_max_factor));
+    put("ratio=" + format_double(synth.sec_util_ratio));
+    put("taskcap=" + format_double(synth.max_task_utilization));
+  }
+  return hex64(fnv1a64(canon));
+}
+
+std::string format_shard_header(const SweepShardHeader& header) {
+  std::string out = "{\"hydra_sweep_shard\":{\"fingerprint\":\"" +
+                    json_escape(header.fingerprint) +
+                    "\",\"shard\":" + std::to_string(header.shard) +
+                    ",\"shards\":" + std::to_string(header.shards) +
+                    ",\"cells\":" + std::to_string(header.cells) + ",\"schemes\":[";
+  bool first = true;
+  for (const auto& scheme : header.schemes) {
+    if (!first) out += ',';
+    out += '"' + json_escape(scheme) + '"';
+    first = false;
+  }
+  out += "]}}";
+  return out;
+}
+
+namespace {
+
+/// Mini-cursor for the strict shard-header grammar (exactly what
+/// format_shard_header emits — we are the only producer, so any deviation
+/// means "not a header").
+struct HeaderCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text.compare(pos, len, word) != 0) return false;
+    pos += len;
+    return true;
+  }
+  bool quoted(std::string& out) {
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return false;
+      const char esc = text[pos++];
+      if (esc == '"' || esc == '\\') out += esc;
+      else return false;  // json_escape never hits other escapes for our names
+    }
+    return false;
+  }
+  bool uint(std::size_t& out) {
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    const auto result = std::from_chars(begin, end, out);
+    if (result.ec != std::errc()) return false;
+    pos += static_cast<std::size_t>(result.ptr - begin);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<SweepShardHeader> parse_shard_header(const std::string& line) {
+  HeaderCursor cur{line};
+  SweepShardHeader header;
+  if (!cur.literal("{\"hydra_sweep_shard\":{\"fingerprint\":")) return std::nullopt;
+  if (!cur.quoted(header.fingerprint)) return std::nullopt;
+  if (!cur.literal(",\"shard\":") || !cur.uint(header.shard)) return std::nullopt;
+  if (!cur.literal(",\"shards\":") || !cur.uint(header.shards)) return std::nullopt;
+  if (!cur.literal(",\"cells\":") || !cur.uint(header.cells)) return std::nullopt;
+  if (!cur.literal(",\"schemes\":[")) return std::nullopt;
+  if (!cur.literal("]")) {
+    do {
+      std::string scheme;
+      if (!cur.quoted(scheme)) return std::nullopt;
+      header.schemes.push_back(std::move(scheme));
+    } while (cur.literal(","));
+    if (!cur.literal("]")) return std::nullopt;
+  }
+  if (!cur.literal("}}") || cur.pos != line.size()) return std::nullopt;
+  if (header.shards == 0 || header.shard >= header.shards) return std::nullopt;
+  return header;
+}
+
+std::optional<SweepShardHeader> read_shard_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  return parse_shard_header(line);
 }
 
 std::map<std::string, std::vector<BatchRow>> load_sweep_checkpoint(
@@ -145,6 +373,14 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
   if (spec_.replications == 0) {
     throw std::invalid_argument("sweep needs at least one replication per point");
   }
+  if (spec_.shard_count == 0) {
+    throw std::invalid_argument("sweep shard_count must be at least 1");
+  }
+  if (spec_.shard_index >= spec_.shard_count) {
+    throw std::invalid_argument(
+        "sweep shard_index " + std::to_string(spec_.shard_index) +
+        " out of range for shard_count " + std::to_string(spec_.shard_count));
+  }
   // Fix the default labels now: cell keys (and hence resume identity) must
   // not depend on when a caller happens to read them.
   for (auto& point : spec_.points) {
@@ -161,8 +397,72 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
   // Read the checkpoint now so callers can reuse the same path for the
   // (truncating) output sink they open between construction and run().
   if (!spec_.resume_path.empty()) {
+    // A shard header in the checkpoint must describe THIS run: same spec
+    // fingerprint and the same shard position.  (A merged or unsharded
+    // checkpoint carries no header and is welcome for any shard — the cell
+    // splice below simply uses the subset this shard owns.)
+    if (const auto header = read_shard_header(spec_.resume_path)) {
+      const std::string fingerprint = sweep_fingerprint(spec_);
+      if (header->fingerprint != fingerprint) {
+        throw std::runtime_error(
+            "resume checkpoint " + spec_.resume_path +
+            " was written by a different sweep spec (fingerprint " +
+            header->fingerprint + ", this spec is " + fingerprint + ")");
+      }
+      if (header->shard != spec_.shard_index || header->shards != spec_.shard_count) {
+        throw std::runtime_error(
+            "resume checkpoint " + spec_.resume_path + " belongs to shard " +
+            std::to_string(header->shard) + "/" + std::to_string(header->shards) +
+            ", but this run is shard " + std::to_string(spec_.shard_index) + "/" +
+            std::to_string(spec_.shard_count));
+      }
+    }
     checkpoint_ = load_sweep_checkpoint(spec_.resume_path);
+    // A checkpoint whose cells do not even belong to this spec's grid is a
+    // misconfiguration (wrong file, edited grid): fail loudly instead of
+    // silently recomputing everything.
+    if (!checkpoint_.empty()) {
+      const auto keys = all_cell_keys();
+      const std::set<std::string> valid(keys.begin(), keys.end());
+      for (const auto& [cell, rows] : checkpoint_) {
+        (void)rows;
+        if (valid.count(cell) == 0) {
+          throw std::runtime_error(
+              "resume checkpoint " + spec_.resume_path + " contains cell '" +
+              cell + "', which is outside this sweep's grid — refusing to "
+              "resume from a checkpoint of a different spec");
+        }
+      }
+    }
   }
+}
+
+std::vector<std::string> Sweep::all_cell_keys() const {
+  // Mirrors run()'s unit expansion: one unit per preset instance, per corpus
+  // file, or per synthetic replication, indexed exactly like enumerate().
+  std::vector<std::string> keys;
+  for (std::size_t p = 0; p < spec_.points.size(); ++p) {
+    const auto& point = spec_.points[p];
+    const std::size_t count = point.instance.has_value() ? 1
+                              : !point.files.empty()     ? point.files.size()
+                                                         : spec_.replications;
+    for (std::size_t i = 0; i < count; ++i) {
+      keys.push_back(sweep_cell_key(p, point.label, i));
+    }
+  }
+  return keys;
+}
+
+SweepShardHeader Sweep::shard_header() const {
+  SweepShardHeader header;
+  header.fingerprint = sweep_fingerprint(spec_);
+  header.shard = spec_.shard_index;
+  header.shards = spec_.shard_count;
+  header.schemes = spec_.schemes;
+  for (const auto& key : all_cell_keys()) {
+    if (sweep_shard_of(key, spec_.shard_count) == spec_.shard_index) ++header.cells;
+  }
+  return header;
 }
 
 SweepSummary Sweep::run(const std::vector<ResultSink*>& sinks) const {
@@ -202,6 +502,21 @@ SweepSummary Sweep::run(const std::vector<ResultSink*>& sinks) const {
       unit.point_spec = &point_specs[p];
       units.push_back(std::move(unit));
     }
+  }
+
+  // Sharded run: keep only the units the cell-key partition assigns to this
+  // shard.  Dropping units here — after keys are fixed, before any queue or
+  // checkpoint work — is what keeps the surviving cells byte-identical to
+  // their single-process counterparts.
+  if (spec_.shard_count > 1) {
+    std::vector<SweepUnit> mine;
+    mine.reserve(units.size() / spec_.shard_count + 1);
+    for (auto& unit : units) {
+      if (sweep_shard_of(unit.cell, spec_.shard_count) == spec_.shard_index) {
+        mine.push_back(std::move(unit));
+      }
+    }
+    units = std::move(mine);
   }
 
   SweepSummary summary;

@@ -20,6 +20,12 @@
 //     scheme row-set is present and matches the spec are spliced in verbatim
 //     instead of re-evaluated, and the final output is byte-identical to an
 //     uninterrupted run.
+//   * Shardability — `shard_index`/`shard_count` restrict a run to the cells
+//     `sweep_shard_of` assigns to that shard.  The partition is a pure
+//     function of the cell key, so shards are disjoint, exhaustive, and
+//     independent of `--jobs`; N shard outputs merged by cell key
+//     (exp/merge.h, tools/hydra_merge) are byte-identical to one
+//     single-process run.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +63,12 @@ struct SweepSpec {
   /// JSONL checkpoint of a previous invocation; completed cells are spliced
   /// in instead of re-evaluated.  "" (or a missing file) means a cold start.
   std::string resume_path;
+  /// Multi-process sharding: this run evaluates only the cells
+  /// `sweep_shard_of` maps to `shard_index` out of `shard_count`.  The
+  /// default (0 of 1) is an unsharded run.  Sharding never changes a cell's
+  /// key, seed, or bytes — only which process computes it.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 
   /// Appends a synthetic grid point per utilization value — the Fig. 2/3
   /// "sweep total utilization on platform `config`" idiom in one call.
@@ -85,6 +97,61 @@ std::uint64_t sweep_point_seed(std::uint64_t base_seed, std::size_t point_index)
 std::string sweep_cell_key(std::size_t point_index, const std::string& point_label,
                            std::size_t instance_index);
 
+/// Deterministic shard assignment of one cell: FNV-1a over the key bytes,
+/// mod `shard_count`.  A pure function of the key alone — no dependence on
+/// --jobs, enumeration order, or process — so for any N the shard cell-key
+/// sets are disjoint and exhaustive by construction.
+std::size_t sweep_shard_of(const std::string& cell_key, std::size_t shard_count);
+
+/// One shard out of N, as given on a command line.
+struct ShardRef {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Parses the CLI `--shard i/N` syntax (0-based, e.g. "0/3", "2/3"; "0/1" is
+/// the unsharded default).  Throws std::invalid_argument on anything else,
+/// including i >= N.
+ShardRef parse_shard_spec(const std::string& text);
+
+/// Stable fingerprint of everything that determines a sweep's row bytes:
+/// schemes (in order), every point's label and source (preset instances
+/// down to their task parameters, workload files down to their content),
+/// replications, base_seed, max_attempts, optimal_budget, and the metric
+/// names + identities (RowMetric::identity).  Sharding and job/resume
+/// plumbing are deliberately excluded — all shards of one logical sweep
+/// share the fingerprint, which is how the merge tool refuses to union
+/// checkpoints from different specs.  Expects defaulted point labels (i.e.
+/// a `Sweep::spec()`, not a raw user spec).
+std::string sweep_fingerprint(const SweepSpec& spec);
+
+/// The self-description line a sharded run prepends to its JSONL checkpoint:
+///
+///   {"hydra_sweep_shard":{"fingerprint":"...","shard":0,"shards":3,
+///    "cells":117,"schemes":["hydra","single-core"]}}
+///
+/// `cells` is the number of (point, instance) units assigned to the shard,
+/// so the merge tool can prove a shard set is complete.  parse_jsonl_row
+/// rejects the line (unknown key), which is what lets the resume loader skip
+/// it transparently.
+struct SweepShardHeader {
+  std::string fingerprint;
+  std::size_t shard = 0;
+  std::size_t shards = 1;
+  std::size_t cells = 0;
+  std::vector<std::string> schemes;
+};
+
+std::string format_shard_header(const SweepShardHeader& header);
+
+/// Strict inverse of format_shard_header (we are the only producer); returns
+/// nullopt for anything else, including ordinary row lines.
+std::optional<SweepShardHeader> parse_shard_header(const std::string& line);
+
+/// Reads the first line of `path` and parses it as a shard header; nullopt
+/// when the file is missing, empty, or starts with a plain row.
+std::optional<SweepShardHeader> read_shard_header(const std::string& path);
+
 /// Parses a JSONL checkpoint into rows grouped by cell key, tolerating a
 /// truncated final line (the row that was mid-write when the run died).
 /// A missing file yields an empty map — "resume from nothing" is a cold
@@ -107,13 +174,18 @@ struct SweepSummary {
 class Sweep {
  public:
   /// Validates the spec up front (scheme names against the registry, at least
-  /// one point, a non-zero replication count) and assigns the default labels,
-  /// so cell keys are fixed from construction on.  Throws
-  /// std::invalid_argument.
+  /// one point, a non-zero replication count, shard_index < shard_count) and
+  /// assigns the default labels, so cell keys are fixed from construction on.
+  /// Throws std::invalid_argument.
   ///
   /// The resume checkpoint (if any) is read HERE, not in run() — so callers
   /// may pass the same path as checkpoint and output file: construct the
-  /// Sweep first, then open the (truncating) output sink, then run.
+  /// Sweep first, then open the (truncating) output sink, then run.  A
+  /// checkpoint that provably belongs to a different run — a cell key outside
+  /// the spec's grid, or a shard header whose fingerprint or shard position
+  /// does not match — throws std::runtime_error instead of silently
+  /// recomputing: resuming the wrong file is a misconfiguration, not a cold
+  /// start.
   explicit Sweep(SweepSpec spec);
 
   /// Runs the whole grid, streaming rows to every sink in stable order.
@@ -123,7 +195,18 @@ class Sweep {
   /// The spec with defaulted labels filled in (what cell keys are built from).
   const SweepSpec& spec() const { return spec_; }
 
+  /// sweep_fingerprint of the defaulted spec.
+  std::string fingerprint() const { return sweep_fingerprint(spec_); }
+
+  /// The header describing this run's shard (cells = units this shard owns).
+  /// Callers writing a sharded checkpoint prepend format_shard_header of this
+  /// to the JSONL output (make_file_sink's header argument).
+  SweepShardHeader shard_header() const;
+
  private:
+  /// Every cell key of the FULL grid, in emission order (all shards).
+  std::vector<std::string> all_cell_keys() const;
+
   SweepSpec spec_;
   std::map<std::string, std::vector<BatchRow>> checkpoint_;
 };

@@ -1,17 +1,27 @@
 #include "util/cli.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/contracts.h"
 
 namespace hydra::util {
 
-CliParser::CliParser(int argc, const char* const* argv) {
+CliParser::CliParser(int argc, const char* const* argv, bool allow_positionals,
+                     std::vector<std::string> value_less_flags) {
   HYDRA_REQUIRE(argc >= 1 && argv != nullptr, "argv must contain at least the program name");
   program_ = argv[0];
+  const auto is_value_less = [&value_less_flags](const std::string& name) {
+    return std::find(value_less_flags.begin(), value_less_flags.end(), name) !=
+           value_less_flags.end();
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      if (allow_positionals) {
+        positionals_.push_back(std::move(arg));
+        continue;
+      }
       throw std::invalid_argument("unexpected positional argument: " + arg);
     }
     arg = arg.substr(2);
@@ -21,8 +31,10 @@ CliParser::CliParser(int argc, const char* const* argv) {
       continue;
     }
     // `--name value` form: consume the next token as value unless it is
-    // itself an option or absent, in which case treat as a boolean flag.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    // itself an option, absent, or `name` never takes one — then it is a
+    // boolean flag (and the token, if any, a positional in its own right).
+    if (!is_value_less(arg) && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[arg] = argv[++i];
     } else {
       values_[arg] = "true";

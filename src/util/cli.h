@@ -15,7 +15,17 @@ namespace hydra::util {
 class CliParser {
  public:
   /// Parses argv.  Throws std::invalid_argument on malformed input.
-  CliParser(int argc, const char* const* argv);
+  /// Positional (non `--`) arguments are an error unless `allow_positionals`
+  /// is set — benches stay typo-strict, while file-consuming tools
+  /// (hydra_merge shard0.jsonl shard1.jsonl ...) opt in and read them back
+  /// via positionals(), in order.
+  ///
+  /// Options named in `value_less_flags` never consume a following token as
+  /// their value (`--flag=value` still works): without this, a bare boolean
+  /// flag in front of a positional would eat it — `--allow-partial s0.jsonl`
+  /// must mean "flag on, one positional", not "--allow-partial=s0.jsonl".
+  CliParser(int argc, const char* const* argv, bool allow_positionals = false,
+            std::vector<std::string> value_less_flags = {});
 
   /// True if --name was given (with or without a value).
   bool has(const std::string& name) const;
@@ -40,12 +50,17 @@ class CliParser {
   std::vector<std::string> get_string_list(const std::string& name,
                                            std::vector<std::string> fallback) const;
 
+  /// Positional arguments in command-line order (empty unless the parser was
+  /// constructed with allow_positionals).
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
   /// Name of the executable (argv[0]).
   const std::string& program() const { return program_; }
 
  private:
   std::string program_;
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace hydra::util

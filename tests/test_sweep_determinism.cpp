@@ -2,7 +2,10 @@
 //   * --jobs 1 and --jobs 8 produce byte-identical row and aggregate JSONL;
 //   * resuming from a truncated checkpoint (a run killed mid-write)
 //     reproduces the uninterrupted output byte for byte;
-//   * a checkpoint from a different spec is rejected, never spliced;
+//   * a checkpoint from a different spec is rejected, never spliced — and a
+//     checkpoint that provably belongs to a DIFFERENT grid (cell keys
+//     outside the spec, or a shard header with a foreign fingerprint/shard
+//     position) throws instead of silently recomputing;
 //   * JSONL rows round-trip exactly through parse_jsonl_row.
 #include <gtest/gtest.h>
 
@@ -169,4 +172,107 @@ TEST(SweepResume, MissingCheckpointIsAColdStart) {
   const auto summary = hexp::Sweep(std::move(spec)).run();
   EXPECT_EQ(summary.resumed_cells, 0u);
   EXPECT_EQ(summary.cells, 12u);  // 3 points × 4 replications
+}
+
+TEST(SweepResume, ForeignCellKeysAreALoudErrorNotASilentRecompute) {
+  // Regression: a checkpoint whose cells are not even part of this spec's
+  // grid means the caller resumed the wrong file (or edited the grid).  That
+  // used to fall through to "0 cells resumed, recompute everything" —
+  // indistinguishable from a cold start.  It must throw, naming the key.
+  auto full = run_rows(small_grid());
+  const auto at = full.find("\"cell\":\"p0:");
+  ASSERT_NE(at, std::string::npos);
+  full.replace(at, std::string("\"cell\":\"p0:").size(), "\"cell\":\"p9:");
+  const TempCheckpoint checkpoint(full);
+
+  auto spec = small_grid();
+  spec.resume_path = checkpoint.path;
+  try {
+    hexp::Sweep sweep(std::move(spec));
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("p9:"), std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("outside"), std::string::npos);
+  }
+}
+
+TEST(SweepResume, ShardHeaderFromDifferentSpecIsRejected) {
+  // The shard header pins the spec fingerprint; resuming a checkpoint whose
+  // header disagrees (here: a different base seed) must throw up front.
+  auto other = small_grid();
+  other.base_seed = 123;
+  other.shard_count = 2;
+  const auto foreign_header =
+      hexp::format_shard_header(hexp::Sweep(std::move(other)).shard_header());
+  const TempCheckpoint checkpoint(foreign_header + "\n");
+
+  auto spec = small_grid();
+  spec.shard_count = 2;
+  spec.resume_path = checkpoint.path;
+  try {
+    hexp::Sweep sweep(std::move(spec));
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("fingerprint"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(SweepResume, ShardHeaderFromWrongShardPositionIsRejected) {
+  // Same sweep, wrong shard: shard 1's checkpoint must not seed shard 0 (its
+  // cells would all be foreign) nor an unsharded run pretending to be whole.
+  auto shard1 = small_grid();
+  shard1.shard_index = 1;
+  shard1.shard_count = 2;
+  const auto header =
+      hexp::format_shard_header(hexp::Sweep(std::move(shard1)).shard_header());
+  const TempCheckpoint checkpoint(header + "\n");
+
+  auto shard0 = small_grid();
+  shard0.shard_count = 2;  // shard 0 of 2
+  shard0.resume_path = checkpoint.path;
+  try {
+    hexp::Sweep sweep(std::move(shard0));
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("shard"), std::string::npos)
+        << error.what();
+  }
+
+  auto unsharded = small_grid();
+  unsharded.resume_path = checkpoint.path;
+  EXPECT_THROW(hexp::Sweep(std::move(unsharded)), std::runtime_error);
+}
+
+TEST(SweepResume, OwnShardCheckpointStillResumesExactly) {
+  // The happy sharded path: a shard writes header + rows, dies, and its own
+  // resume reproduces the uninterrupted shard output byte for byte.
+  auto spec = small_grid();
+  spec.shard_index = 1;
+  spec.shard_count = 2;
+  const hexp::Sweep sweep(spec);
+  const auto header_line = hexp::format_shard_header(sweep.shard_header());
+  std::ostringstream os;
+  hexp::JsonlSink sink(os);
+  sweep.run({&sink});
+  const auto full = os.str();
+  ASSERT_FALSE(full.empty());
+
+  // Keep the first complete cell: one row per scheme, emitted contiguously.
+  std::size_t cut = std::string::npos;
+  for (std::size_t line = 0, pos = 0; line < 3; ++line) {
+    cut = full.find('\n', pos);
+    ASSERT_NE(cut, std::string::npos);
+    pos = cut + 1;
+  }
+  const TempCheckpoint checkpoint(header_line + "\n" + full.substr(0, cut + 1));
+
+  auto resumed_spec = spec;
+  resumed_spec.resume_path = checkpoint.path;
+  std::ostringstream resumed;
+  hexp::JsonlSink resumed_sink(resumed);
+  const auto summary = hexp::Sweep(std::move(resumed_spec)).run({&resumed_sink});
+  EXPECT_GT(summary.resumed_cells, 0u);
+  EXPECT_EQ(resumed.str(), full);
 }

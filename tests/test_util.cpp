@@ -190,3 +190,34 @@ TEST(Cli, BooleanSpellings) {
   EXPECT_FALSE(cli.get_bool("b", true));
   EXPECT_TRUE(cli.get_bool("c", false));
 }
+
+TEST(Cli, PositionalsAreCollectedWhenOptedIn) {
+  const std::vector<const char*> argv = {"prog", "a.jsonl", "--out",
+                                         "m.jsonl", "b.jsonl"};
+  const hu::CliParser cli(static_cast<int>(argv.size()), argv.data(),
+                          /*allow_positionals=*/true);
+  EXPECT_EQ(cli.get_string("out", ""), "m.jsonl");
+  ASSERT_EQ(cli.positionals().size(), 2u);
+  EXPECT_EQ(cli.positionals()[0], "a.jsonl");
+  EXPECT_EQ(cli.positionals()[1], "b.jsonl");
+}
+
+TEST(Cli, ValueLessFlagsDoNotSwallowPositionals) {
+  // Regression: a bare boolean flag in front of a positional used to eat it
+  // as its "value" — `hydra_merge --allow-partial s0.jsonl s1.jsonl` lost
+  // its first shard file and then rejected "s0.jsonl" as a boolean.
+  const std::vector<const char*> argv = {"prog", "--allow-partial", "s0.jsonl",
+                                         "s1.jsonl"};
+  const hu::CliParser cli(static_cast<int>(argv.size()), argv.data(),
+                          /*allow_positionals=*/true,
+                          /*value_less_flags=*/{"allow-partial"});
+  EXPECT_TRUE(cli.get_bool("allow-partial", false));
+  ASSERT_EQ(cli.positionals().size(), 2u);
+  EXPECT_EQ(cli.positionals()[0], "s0.jsonl");
+  // The explicit `=` form still overrides a value-less flag.
+  const std::vector<const char*> eq = {"prog", "--allow-partial=false", "x"};
+  const hu::CliParser eq_cli(static_cast<int>(eq.size()), eq.data(), true,
+                             {"allow-partial"});
+  EXPECT_FALSE(eq_cli.get_bool("allow-partial", true));
+  ASSERT_EQ(eq_cli.positionals().size(), 1u);
+}

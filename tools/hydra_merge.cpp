@@ -1,0 +1,81 @@
+// hydra_merge: union per-shard sweep checkpoints back into the single JSONL
+// stream a one-process run would have written (see exp/merge.h for the
+// contract: order-insensitive, idempotent, loud on conflicts, torn trailing
+// lines discarded).
+//
+// Typical fan-out, three processes then one merge:
+//
+//     bench_fig2_acceptance --shard 0/3 --out s0.jsonl   # machine 0
+//     bench_fig2_acceptance --shard 1/3 --out s1.jsonl   # machine 1
+//     bench_fig2_acceptance --shard 2/3 --out s2.jsonl   # machine 2
+//     hydra_merge --out merged.jsonl s0.jsonl s1.jsonl s2.jsonl
+//
+// merged.jsonl is byte-identical to the unsharded run's --out and doubles as
+// a complete --resume checkpoint (e.g. to re-print tables without
+// recomputing anything).
+//
+// Usage: hydra_merge [--out merged.jsonl] [--allow-partial]
+//                    [--expect-fingerprint HEX] shard0.jsonl shard1.jsonl ...
+//
+//   --out                 write here instead of stdout
+//   --allow-partial       union whatever is present instead of requiring a
+//                         complete shard set (the result is then only a
+//                         --resume checkpoint, not the full stream)
+//   --expect-fingerprint  additionally pin the shards' spec fingerprint
+#include <fstream>
+#include <iostream>
+
+#include "exp/merge.h"
+#include "util/cli.h"
+
+namespace hexp = hydra::exp;
+
+int main(int argc, char** argv) {
+  try {
+    const hydra::util::CliParser cli(argc, argv, /*allow_positionals=*/true,
+                                     /*value_less_flags=*/{"allow-partial"});
+    const auto& shards = cli.positionals();
+    if (shards.empty()) {
+      std::cerr << "usage: " << cli.program()
+                << " [--out merged.jsonl] [--allow-partial]"
+                   " [--expect-fingerprint HEX] shard0.jsonl shard1.jsonl ...\n";
+      return 2;
+    }
+
+    hexp::MergeOptions options;
+    options.require_complete = !cli.get_bool("allow-partial", false);
+    options.expect_fingerprint = cli.get_string("expect-fingerprint", "");
+    const auto merged = hexp::merge_checkpoints(shards, options);
+
+    if (cli.has("out")) {
+      const auto path = cli.get_string("out", "");
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::cerr << "hydra_merge: cannot open output file: " << path << "\n";
+        return 1;
+      }
+      hexp::write_merged(merged, out);
+    } else {
+      hexp::write_merged(merged, std::cout);
+    }
+
+    // Provenance summary on stderr, so stdout stays a clean JSONL stream.
+    std::cerr << "merged " << merged.cells.size() << " cells (" << merged.rows
+              << " rows) from " << merged.shard_files << " shard file(s)";
+    if (merged.header.has_value()) {
+      std::cerr << ", spec fingerprint " << merged.header->fingerprint << ", "
+                << merged.header->shards << " shard(s) declared";
+    }
+    if (merged.duplicate_rows > 0) {
+      std::cerr << "; coalesced " << merged.duplicate_rows << " duplicate row(s)";
+    }
+    if (merged.torn_lines > 0) {
+      std::cerr << "; discarded " << merged.torn_lines << " torn trailing line(s)";
+    }
+    std::cerr << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "hydra_merge: " << error.what() << "\n";
+    return 1;
+  }
+}
