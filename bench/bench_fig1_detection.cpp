@@ -22,7 +22,14 @@
 // Usage: bench_fig1_detection [--cores 2,4,8] [--schemes hydra,single-core]
 //                             [--trials 500] [--horizon-s 500] [--seed 1]
 //                             [--cdf-points 11] [--jobs 1] [--out rows.jsonl]
-//                             [--csv]
+//                             [--resume rows.jsonl] [--shard i/N] [--csv]
+//
+// --shard i/N runs the i-th of N disjoint cell subsets (see exp/sweep.h);
+// shard outputs carry a self-describing header and are reunited with
+// hydra_merge (or orchestrated end to end by hydra_swarm sweep).  The CDF
+// tables need the raw detection samples, which only exist for cells
+// simulated in THIS process — resumed or foreign-shard cells print their
+// aggregate row but skip the per-sample tables.
 #include <iostream>
 #include <map>
 #include <memory>
@@ -88,6 +95,17 @@ int main(int argc, char** argv) {
   hexp::SweepSpec spec;
   spec.schemes = scheme_names;
   spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  spec.resume_path = cli.get_string("resume", "");
+  const auto shard = hexp::parse_shard_spec(cli.get_string("shard", "0/1"));
+  spec.shard_index = shard.index;
+  spec.shard_count = shard.count;
+  const std::string out_path = cli.get_string("out", "");
+  if (shard.count > 1 && out_path.size() >= 4 &&
+      out_path.compare(out_path.size() - 4, 4, ".csv") == 0) {
+    std::cerr << "--shard needs a JSONL --out (the shard header and "
+                 "hydra_merge have no CSV form)\n";
+    return 2;
+  }
   for (const auto m : cores) {
     hexp::SweepPoint point;
     point.instance = hydra::gen::uav_case_study(static_cast<std::size_t>(m));
@@ -118,7 +136,11 @@ int main(int argc, char** argv) {
   std::unique_ptr<hexp::ResultSink> file_sink;
   std::vector<hexp::ResultSink*> sinks = {&aggregator};
   if (cli.has("out")) {
-    file_sink = hexp::make_file_sink(cli.get_string("out", ""));
+    // Sharded checkpoints open with a self-describing header so hydra_merge
+    // can verify the shard set belongs together and is complete.
+    const std::string header =
+        shard.count > 1 ? hexp::format_shard_header(sweep.shard_header()) : "";
+    file_sink = hexp::make_file_sink(cli.get_string("out", ""), header);
     sinks.push_back(file_sink.get());
   }
 
@@ -126,6 +148,12 @@ int main(int argc, char** argv) {
                                   scheme_names[0] + " vs " + scheme_names[1] + ")");
   std::cout << "UAV control system + Table-I security tasks; " << horizon_s
             << " s schedules; " << trials << " attack trials per scheme.\n";
+  if (shard.count > 1) {
+    std::cout << "shard " << shard.index << "/" << shard.count << ": "
+              << sweep.shard_header().cells
+              << " of the grid's cells run here; merge the shard outputs with "
+                 "hydra_merge (tables below cover this shard only).\n";
+  }
 
   sweep.run(sinks);
   const auto cells = aggregator.cells();
@@ -143,23 +171,34 @@ int main(int argc, char** argv) {
       std::cout << "M = " << m << ": allocation infeasible or simulation failed\n";
       continue;
     }
-    const auto& cand_ms = cache.samples.at({label, scheme_names[0]});
-    const auto& base_ms = cache.samples.at({label, scheme_names[1]});
-
-    // CDF series over the paper's 0–50 s axis.
-    const double axis_ms = 50000.0;
-    const hydra::stats::EmpiricalCdf cand_cdf(cand_ms);
-    const hydra::stats::EmpiricalCdf base_cdf(base_ms);
-    io::Table cdf({"detection time (ms)", "F_" + scheme_names[0],
-                   "F_" + scheme_names[1]});
-    for (const auto& [x, f] : cand_cdf.series(axis_ms, cdf_points)) {
-      cdf.add_row({io::fmt(x, 0), io::fmt(f, 3), io::fmt(base_cdf(x), 3)});
-    }
+    // Raw samples exist only for cells simulated in THIS process: a resumed
+    // cell (or one owned by a sibling shard) contributes its aggregate row
+    // but has nothing for the per-sample tables, so those are skipped.
+    const auto cand_samples_it = cache.samples.find({label, scheme_names[0]});
+    const auto base_samples_it = cache.samples.find({label, scheme_names[1]});
+    const bool have_samples = cand_samples_it != cache.samples.end() &&
+                              base_samples_it != cache.samples.end();
     io::print_banner(std::cout, "M = " + std::to_string(m) + " cores");
-    if (csv) {
-      cdf.print_csv(std::cout);
-    } else {
-      cdf.print(std::cout);
+    if (!have_samples) {
+      std::cout << "detection samples not simulated locally (resumed or "
+                   "foreign-shard cell); CDF and distribution stats skipped\n";
+    }
+    const double axis_ms = 50000.0;  // the paper's 0–50 s CDF axis
+    if (have_samples) {
+      const auto& cand_ms = cand_samples_it->second;
+      const auto& base_ms = base_samples_it->second;
+      const hydra::stats::EmpiricalCdf cand_cdf(cand_ms);
+      const hydra::stats::EmpiricalCdf base_cdf(base_ms);
+      io::Table cdf({"detection time (ms)", "F_" + scheme_names[0],
+                     "F_" + scheme_names[1]});
+      for (const auto& [x, f] : cand_cdf.series(axis_ms, cdf_points)) {
+        cdf.add_row({io::fmt(x, 0), io::fmt(f, 3), io::fmt(base_cdf(x), 3)});
+      }
+      if (csv) {
+        cdf.print_csv(std::cout);
+      } else {
+        cdf.print(std::cout);
+      }
     }
 
     // Average improvement in detection time (faster = positive) straight off
@@ -192,18 +231,24 @@ int main(int argc, char** argv) {
               << scheme_names[0] << " " << fmt_opt(cand_global) << " ms, "
               << scheme_names[1] << " " << fmt_opt(base_global) << " ms\n";
 
-    const auto cand_ci = hydra::stats::mean_ci95(cand_ms);
-    const auto base_ci = hydra::stats::mean_ci95(base_ms);
-    std::cout << "mean detection 95% CI: " << scheme_names[0] << " ["
-              << io::fmt(cand_ci.lo, 0) << ", " << io::fmt(cand_ci.hi, 0) << "] ms, "
-              << scheme_names[1] << " [" << io::fmt(base_ci.lo, 0) << ", "
-              << io::fmt(base_ci.hi, 0) << "] ms; p95 "
-              << io::fmt(hydra::stats::percentile(cand_ms, 0.95), 0) << " vs "
-              << io::fmt(hydra::stats::percentile(base_ms, 0.95), 0)
-              << " ms; KS distance "
-              << io::fmt(hydra::stats::ks_statistic(cand_cdf, base_cdf), 3) << "; "
-              << scheme_names[0] << " stochastically dominates: "
-              << (hydra::stats::dominates(cand_cdf, base_cdf, 0.02) ? "yes" : "no") << "\n";
+    if (have_samples) {
+      const auto& cand_ms = cand_samples_it->second;
+      const auto& base_ms = base_samples_it->second;
+      const hydra::stats::EmpiricalCdf cand_cdf(cand_ms);
+      const hydra::stats::EmpiricalCdf base_cdf(base_ms);
+      const auto cand_ci = hydra::stats::mean_ci95(cand_ms);
+      const auto base_ci = hydra::stats::mean_ci95(base_ms);
+      std::cout << "mean detection 95% CI: " << scheme_names[0] << " ["
+                << io::fmt(cand_ci.lo, 0) << ", " << io::fmt(cand_ci.hi, 0) << "] ms, "
+                << scheme_names[1] << " [" << io::fmt(base_ci.lo, 0) << ", "
+                << io::fmt(base_ci.hi, 0) << "] ms; p95 "
+                << io::fmt(hydra::stats::percentile(cand_ms, 0.95), 0) << " vs "
+                << io::fmt(hydra::stats::percentile(base_ms, 0.95), 0)
+                << " ms; KS distance "
+                << io::fmt(hydra::stats::ks_statistic(cand_cdf, base_cdf), 3) << "; "
+                << scheme_names[0] << " stochastically dominates: "
+                << (hydra::stats::dominates(cand_cdf, base_cdf, 0.02) ? "yes" : "no") << "\n";
+    }
   }
 
   io::print_banner(std::cout,

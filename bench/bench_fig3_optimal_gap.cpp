@@ -13,7 +13,7 @@
 // Usage: bench_fig3_optimal_gap [--tasksets 50] [--seed 11]
 //                               [--schemes hydra,optimal] [--jobs 1]
 //                               [--out rows.jsonl] [--resume rows.jsonl]
-//                               [--agg-out cells.jsonl] [--csv]
+//                               [--shard i/N] [--agg-out cells.jsonl] [--csv]
 //        (the paper's Fig. 3 uses M = 2; the exhaustive comparator is
 //         exponential, so per-point taskset counts are smaller than Fig. 2's)
 #include <fstream>
@@ -55,6 +55,24 @@ int main(int argc, char** argv) {
   spec.base_seed = seed;
   spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
   spec.resume_path = cli.get_string("resume", "");
+  const auto shard = hexp::parse_shard_spec(cli.get_string("shard", "0/1"));
+  spec.shard_index = shard.index;
+  spec.shard_count = shard.count;
+  if (shard.count > 1 && cli.has("agg-out")) {
+    // A shard sees a fraction of every cell's samples; its aggregate file
+    // would be indistinguishable from a full-grid one downstream.
+    std::cerr << "--agg-out is not available on a sharded run: merge the shard "
+                 "outputs with hydra_merge, then rerun with --resume "
+                 "merged.jsonl --agg-out\n";
+    return 2;
+  }
+  const std::string out_path = cli.get_string("out", "");
+  if (shard.count > 1 && out_path.size() >= 4 &&
+      out_path.compare(out_path.size() - 4, 4, ".csv") == 0) {
+    std::cerr << "--shard needs a JSONL --out (the shard header and "
+                 "hydra_merge have no CSV form)\n";
+    return 2;
+  }
   spec.add_utilization_grid(
       config, cli.get_double_list("utilizations", hexp::utilization_axis(2)));
   const hexp::Sweep sweep(std::move(spec));
@@ -66,13 +84,23 @@ int main(int argc, char** argv) {
   std::unique_ptr<hexp::ResultSink> file_sink;
   std::vector<hexp::ResultSink*> sinks = {&aggregator};
   if (cli.has("out")) {
-    file_sink = hexp::make_file_sink(cli.get_string("out", ""));
+    // Sharded checkpoints open with a self-describing header so hydra_merge
+    // can verify the shard set belongs together and is complete.
+    const std::string header =
+        shard.count > 1 ? hexp::format_shard_header(sweep.shard_header()) : "";
+    file_sink = hexp::make_file_sink(cli.get_string("out", ""), header);
     sinks.push_back(file_sink.get());
   }
 
   io::print_banner(std::cout, "Fig. 3: " + scheme_names[0] + " vs " + scheme_names[1] +
                                   " exhaustive assignment (M = 2, NS in [2, 6])");
   std::cout << tasksets << " tasksets per utilization point.\n";
+  if (shard.count > 1) {
+    std::cout << "shard " << shard.index << "/" << shard.count << ": "
+              << sweep.shard_header().cells
+              << " of the grid's cells run here; merge the shard outputs with "
+                 "hydra_merge (tables below cover this shard only).\n";
+  }
 
   const auto summary = sweep.run(sinks);
   const auto cells = aggregator.cells();

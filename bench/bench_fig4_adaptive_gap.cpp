@@ -19,8 +19,8 @@
 // Usage: bench_fig4_adaptive_gap [--tasksets 40] [--seed 17] [--cores 2]
 //            [--schemes contego,period-adapt,util/worst-fit,hydra,optimal]
 //            [--reference optimal] [--utilizations 0.4,0.8,...] [--jobs 1]
-//            [--out rows.jsonl] [--resume rows.jsonl] [--agg-out cells.jsonl]
-//            [--csv]
+//            [--out rows.jsonl] [--resume rows.jsonl] [--shard i/N]
+//            [--agg-out cells.jsonl] [--csv]
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -72,6 +72,24 @@ int main(int argc, char** argv) {
   spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
   spec.resume_path = cli.get_string("resume", "");
   spec.metrics = hexp::period_mode_metrics();
+  const auto shard = hexp::parse_shard_spec(cli.get_string("shard", "0/1"));
+  spec.shard_index = shard.index;
+  spec.shard_count = shard.count;
+  if (shard.count > 1 && cli.has("agg-out")) {
+    // A shard sees a fraction of every cell's samples; its aggregate file
+    // would be indistinguishable from a full-grid one downstream.
+    std::cerr << "--agg-out is not available on a sharded run: merge the shard "
+                 "outputs with hydra_merge, then rerun with --resume "
+                 "merged.jsonl --agg-out\n";
+    return 2;
+  }
+  const std::string out_path = cli.get_string("out", "");
+  if (shard.count > 1 && out_path.size() >= 4 &&
+      out_path.compare(out_path.size() - 4, 4, ".csv") == 0) {
+    std::cerr << "--shard needs a JSONL --out (the shard header and "
+                 "hydra_merge have no CSV form)\n";
+    return 2;
+  }
   spec.add_utilization_grid(
       config, cli.get_double_list("utilizations", hexp::utilization_axis(cores)));
   const hexp::Sweep sweep(std::move(spec));
@@ -83,7 +101,11 @@ int main(int argc, char** argv) {
   std::unique_ptr<hexp::ResultSink> file_sink;
   std::vector<hexp::ResultSink*> sinks = {&aggregator};
   if (cli.has("out")) {
-    file_sink = hexp::make_file_sink(cli.get_string("out", ""));
+    // Sharded checkpoints open with a self-describing header so hydra_merge
+    // can verify the shard set belongs together and is complete.
+    const std::string header =
+        shard.count > 1 ? hexp::format_shard_header(sweep.shard_header()) : "";
+    file_sink = hexp::make_file_sink(cli.get_string("out", ""), header);
     sinks.push_back(file_sink.get());
   }
 
@@ -91,6 +113,12 @@ int main(int argc, char** argv) {
                                   reference + " (M = " + std::to_string(cores) + ")");
   std::cout << tasksets << " tasksets per utilization point; reference scheme: "
             << reference << ".\n";
+  if (shard.count > 1) {
+    std::cout << "shard " << shard.index << "/" << shard.count << ": "
+              << sweep.shard_header().cells
+              << " of the grid's cells run here; merge the shard outputs with "
+                 "hydra_merge (tables below cover this shard only).\n";
+  }
 
   const auto summary = sweep.run(sinks);
   const auto cells = aggregator.cells();

@@ -5,6 +5,8 @@
 // discrete-event simulator.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "core/hydra.h"
 #include "core/optimal.h"
 #include "core/period_adaptation.h"
@@ -169,6 +171,11 @@ static void BM_ExplorationEngineBatch(benchmark::State& state) {
   }
   state.counters["feasible"] =
       static_cast<double>(feasible) / static_cast<double>(state.iterations());
+  // One item = one (instance, scheme) cell, so items_per_second is the
+  // engine's cell throughput — the unit hydra_bench_diff tracks across
+  // thread counts and baselines.
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * spec.count * options.schemes.size()));
 }
 BENCHMARK(BM_ExplorationEngineBatch)
     ->Arg(1)

@@ -155,38 +155,44 @@ MergeResult merge_checkpoints(const std::vector<std::string>& paths,
     }
   }
 
-  if (options.require_complete) {
+  // Completeness is always COMPUTED (the orchestrator's progress loop polls
+  // it on partial merges); require_complete only decides whether a hole
+  // throws or is reported via MergeResult::complete/incomplete_reason.
+  const auto completeness_hole = [&]() -> std::string {
     if (!all_have_headers) {
-      throw std::runtime_error(
-          "cannot verify completeness: " + headerless_path + " has no shard "
-          "header (merge with allow-partial to union anyway)");
+      return "cannot verify completeness: " + headerless_path + " has no shard "
+             "header (merge with allow-partial to union anyway)";
     }
     const std::size_t shards = result.header->shards;
     std::size_t declared_cells = 0;
     for (std::size_t s = 0; s < shards; ++s) {
       const auto it = declared.find(s);
       if (it == declared.end()) {
-        throw std::runtime_error("missing shard " + std::to_string(s) + "/" +
-                                 std::to_string(shards) +
-                                 " (merge with allow-partial to union anyway)");
+        return "missing shard " + std::to_string(s) + "/" +
+               std::to_string(shards) +
+               " (merge with allow-partial to union anyway)";
       }
       declared_cells += it->second;
     }
     if (declared_cells != cells.size()) {
-      throw std::runtime_error(
-          "shard headers declare " + std::to_string(declared_cells) +
-          " cells but " + std::to_string(cells.size()) + " distinct cells were "
-          "merged — a shard checkpoint is truncated or foreign");
+      return "shard headers declare " + std::to_string(declared_cells) +
+             " cells but " + std::to_string(cells.size()) + " distinct cells "
+             "were merged — a shard checkpoint is truncated or foreign";
     }
     for (const auto& [key, cell] : cells) {
       if (cell.rows.size() != result.header->schemes.size()) {
-        throw std::runtime_error(
-            "cell '" + key + "' is incomplete: " +
-            std::to_string(cell.rows.size()) + " of " +
-            std::to_string(result.header->schemes.size()) + " scheme rows "
-            "(torn shard? merge with allow-partial to keep it for --resume)");
+        return "cell '" + key + "' is incomplete: " +
+               std::to_string(cell.rows.size()) + " of " +
+               std::to_string(result.header->schemes.size()) + " scheme rows "
+               "(torn shard? merge with allow-partial to keep it for --resume)";
       }
     }
+    return "";
+  };
+  result.incomplete_reason = completeness_hole();
+  result.complete = result.incomplete_reason.empty();
+  if (options.require_complete && !result.complete) {
+    throw std::runtime_error(result.incomplete_reason);
   }
 
   // Canonical output order: grid order across cells (point-major,

@@ -71,6 +71,18 @@ struct MergeResult {
   std::size_t rows = 0;            ///< row lines in the merged output
   std::size_t duplicate_rows = 0;  ///< byte-identical repeated rows coalesced
   std::size_t torn_lines = 0;      ///< unparseable trailing fragments discarded
+  /// True when the merge provably reconstructs the full grid (every input
+  /// carries a header, shard indices cover 0..shards-1, declared cell counts
+  /// sum to the distinct merged cells, every cell has one row per scheme).
+  /// With `require_complete` an incomplete merge throws instead, so a
+  /// returned result has complete == true; with allow-partial this flag is
+  /// how callers — the swarm orchestrator's progress loop, scripts driving
+  /// `hydra_merge --allow-partial`/`--check` — distinguish "done" from
+  /// "partial but consistent" without a second pass over the files.
+  bool complete = false;
+  /// Empty when complete; else the first completeness hole found (the same
+  /// message require_complete would have thrown).
+  std::string incomplete_reason;
 };
 
 /// Merges the given checkpoint files.  Throws std::runtime_error on missing

@@ -1,0 +1,48 @@
+#include "swarm/events.h"
+
+#include <ostream>
+
+#include "exp/sinks.h"
+
+namespace hydra::swarm {
+
+std::string format_event(const Event& event) {
+  std::string line = "{\"seq\":" + std::to_string(event.seq);
+  line += ",\"t\":" + exp::json_number(event.t);
+  line += ",\"kind\":\"" + exp::json_escape(event.kind) + "\"";
+  line += ",\"subject\":\"" + exp::json_escape(event.subject) + "\"";
+  line += ",\"detail\":\"" + exp::json_escape(event.detail) + "\"}";
+  return line;
+}
+
+void EventLog::emit(double t, std::string kind, std::string subject,
+                    std::string detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Event event;
+  event.seq = events_.size();
+  event.t = t;
+  event.kind = std::move(kind);
+  event.subject = std::move(subject);
+  event.detail = std::move(detail);
+  if (sink_ != nullptr) {
+    (*sink_) << format_event(event) << '\n';
+    sink_->flush();
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t EventLog::count(const std::string& kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace hydra::swarm

@@ -1,0 +1,165 @@
+#include "swarm/proto.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace hydra::swarm {
+
+namespace {
+
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool literal(const char* word) {
+    skip_ws();
+    std::size_t i = 0;
+    while (word[i] != '\0') {
+      if (pos + i >= text.size() || text[pos + i] != word[i]) return false;
+      ++i;
+    }
+    pos += i;
+    return true;
+  }
+};
+
+bool parse_string(Cursor& cur, std::string& out) {
+  cur.skip_ws();
+  if (cur.pos >= cur.text.size() || cur.text[cur.pos] != '"') return false;
+  ++cur.pos;
+  out.clear();
+  while (cur.pos < cur.text.size()) {
+    const char c = cur.text[cur.pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (cur.pos >= cur.text.size()) return false;
+    const char esc = cur.text[cur.pos++];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        if (cur.pos + 4 > cur.text.size()) return false;
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = cur.text[cur.pos++];
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        if (value > 0x7F) return false;  // taskset text is ASCII; keep it simple
+        out.push_back(static_cast<char>(value));
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_number(Cursor& cur, double& out) {
+  cur.skip_ws();
+  std::size_t end = cur.pos;
+  while (end < cur.text.size() &&
+         (std::isdigit(static_cast<unsigned char>(cur.text[end])) ||
+          cur.text[end] == '-' || cur.text[end] == '+' || cur.text[end] == '.' ||
+          cur.text[end] == 'e' || cur.text[end] == 'E')) {
+    ++end;
+  }
+  if (end == cur.pos) return false;
+  const auto result =
+      std::from_chars(cur.text.data() + cur.pos, cur.text.data() + end, out);
+  if (result.ec != std::errc() || result.ptr != cur.text.data() + end) return false;
+  cur.pos = end;
+  return true;
+}
+
+bool parse_value(Cursor& cur, JsonField& out) {
+  cur.skip_ws();
+  if (cur.pos >= cur.text.size()) return false;
+  const char c = cur.text[cur.pos];
+  if (c == '"') {
+    std::string value;
+    if (!parse_string(cur, value)) return false;
+    out.string_value = std::move(value);
+    return true;
+  }
+  if (c == '[') {
+    ++cur.pos;
+    std::vector<std::string> values;
+    if (!cur.eat(']')) {
+      do {
+        std::string value;
+        if (!parse_string(cur, value)) return false;
+        values.push_back(std::move(value));
+      } while (cur.eat(','));
+      if (!cur.eat(']')) return false;
+    }
+    out.string_array = std::move(values);
+    return true;
+  }
+  if (cur.literal("true")) {
+    out.bool_value = true;
+    return true;
+  }
+  if (cur.literal("false")) {
+    out.bool_value = false;
+    return true;
+  }
+  if (cur.literal("null")) return true;  // all optionals stay empty
+  double number = 0.0;
+  if (!parse_number(cur, number)) return false;
+  out.number_value = number;
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::map<std::string, JsonField>> parse_flat_json(
+    const std::string& line) {
+  Cursor cur{line};
+  if (!cur.eat('{')) return std::nullopt;
+  std::map<std::string, JsonField> fields;
+  if (!cur.eat('}')) {
+    do {
+      std::string key;
+      JsonField value;
+      if (!parse_string(cur, key) || !cur.eat(':') || !parse_value(cur, value)) {
+        return std::nullopt;
+      }
+      fields[std::move(key)] = std::move(value);
+    } while (cur.eat(','));
+    if (!cur.eat('}')) return std::nullopt;
+  }
+  cur.skip_ws();
+  if (cur.pos != line.size()) return std::nullopt;  // trailing garbage
+  return fields;
+}
+
+}  // namespace hydra::swarm

@@ -1,0 +1,39 @@
+// The allocation service's line protocol: one JSON object per line, request
+// in, response out.  Requests are small flat objects, so this is a minimal
+// field extractor, not a general JSON library — exp/sinks.h already owns the
+// (stricter) row grammar; this parser exists for the handful of request
+// shapes the daemon accepts:
+//
+//   {"op":"allocate","schemes":["hydra"],"taskset_text":"cores 2\n..."}
+//   {"op":"allocate","schemes":["hydra"],"taskset_file":"tests/corpus/a.txt"}
+//   {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
+//
+// Responses are produced by the service (swarm/service.h) with the exp
+// layer's deterministic formatting helpers, never by this file.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hydra::swarm {
+
+/// One parsed top-level field.  Exactly one of the optionals is set.
+struct JsonField {
+  std::optional<std::string> string_value;
+  std::optional<double> number_value;
+  std::optional<bool> bool_value;
+  std::optional<std::vector<std::string>> string_array;
+};
+
+/// Parses a single-line flat JSON object: top-level values may be strings
+/// (with the usual escapes, \uXXXX limited to ASCII), numbers, booleans,
+/// null (field dropped), or arrays of strings.  Nested objects/arrays of
+/// non-strings are rejected.  Returns nullopt on anything malformed,
+/// including trailing garbage — a request either parses exactly or is
+/// answered with an error, never half-understood.
+std::optional<std::map<std::string, JsonField>> parse_flat_json(
+    const std::string& line);
+
+}  // namespace hydra::swarm

@@ -1,0 +1,100 @@
+// Service mode of hydra_swarm: a long-running allocation daemon.  Taskset
+// in, allocation + mode table out, over a line-delimited JSON protocol
+// (swarm/proto.h documents the request shapes; swarm/socket.h carries it
+// over a Unix-domain socket).
+//
+// Three properties the tests lock down:
+//
+//   * batched evaluation — every drain of the connection set becomes ONE
+//     pass through the existing exp engine per scheme group (a multi-point
+//     preset-instance exp::Sweep), so concurrent clients share the worker
+//     pool instead of serializing;
+//   * fingerprint-keyed caching — the cache key is exp::sweep_fingerprint of
+//     the request's canonical single-point spec, i.e. exactly the identity
+//     the shard/merge machinery already trusts: schemes, the full task
+//     parameters, and every engine knob that can change the result.  Two
+//     requests with byte-different tasksets can never collide; two
+//     semantically identical requests always do;
+//   * hit == cold bytes — a cache hit returns the stored response verbatim,
+//     so hot and cold responses are byte-identical.  Responses deliberately
+//     carry no served-from-cache marker; hit/miss accounting is observable
+//     only through the stats op.
+//
+// The cache is LRU over a byte budget (keys + response bytes), with
+// hit/miss/eviction counters surfaced by {"op":"stats"}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hydra::swarm {
+
+struct ServiceOptions {
+  /// Schemes evaluated when a request does not name any.
+  std::vector<std::string> default_schemes = {"hydra"};
+  /// LRU budget over key + response bytes.  A single response larger than
+  /// the budget is served but not cached (counted `uncacheable`).
+  std::size_t cache_budget_bytes = 64u * 1024 * 1024;
+  std::size_t jobs = 1;            ///< engine worker threads per batch
+  std::size_t optimal_budget = 4096;
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;           ///< lines received (any op)
+  std::uint64_t allocate_requests = 0;
+  std::uint64_t hits = 0;               ///< served verbatim from the cache
+  std::uint64_t misses = 0;             ///< required an engine evaluation
+  std::uint64_t coalesced = 0;          ///< duplicate within one batch drain
+  std::uint64_t errors = 0;             ///< malformed / failed requests
+  std::uint64_t evictions = 0;          ///< LRU entries dropped for space
+  std::uint64_t uncacheable = 0;        ///< responses larger than the budget
+  std::uint64_t engine_batches = 0;     ///< exp engine passes run
+  std::uint64_t engine_rows = 0;        ///< rows those passes produced
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+};
+
+class AllocationService {
+ public:
+  /// Validates the default schemes against the registry up front.  Throws
+  /// std::invalid_argument.
+  explicit AllocationService(ServiceOptions options);
+
+  /// Handles one batch of request lines (one drain of the connection set):
+  /// allocate ops across the whole batch are deduplicated, grouped by scheme
+  /// list, and evaluated in one exp engine pass per group; every line gets
+  /// exactly one response, in order.  Responses have no trailing newline.
+  std::vector<std::string> handle_batch(const std::vector<std::string>& lines);
+
+  /// Single-request convenience (a one-line batch).
+  std::string handle_line(const std::string& line);
+
+  /// True once an {"op":"shutdown"} request was accepted; the transport
+  /// loop drains its current batch and exits.
+  bool shutdown_requested() const { return shutdown_; }
+
+  const ServiceStats& stats() const { return stats_; }
+
+ private:
+  struct CacheEntry {
+    std::string response;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  std::string cache_lookup(const std::string& key);  ///< "" on miss; touches LRU
+  void cache_insert(const std::string& key, const std::string& response);
+  std::string stats_response() const;
+
+  ServiceOptions options_;
+  ServiceStats stats_;
+  bool shutdown_ = false;
+
+  std::map<std::string, CacheEntry> cache_;
+  std::list<std::string> lru_;  ///< most recent at front, by key
+};
+
+}  // namespace hydra::swarm

@@ -1,0 +1,204 @@
+#include "swarm/socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace hydra::swarm {
+
+namespace {
+
+constexpr double kServerClock = 0.0;  // events from the server carry no clock
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("socket path empty or too long (" +
+                             std::to_string(sizeof(address.sun_path) - 1) +
+                             " byte max): " + path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+#endif
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw std::runtime_error("socket write failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(AllocationService& service, ServerOptions options,
+                             EventLog& log)
+    : service_(service), options_(std::move(options)), log_(log) {
+  const auto address = make_address(options_.socket_path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("cannot create socket");
+  // A stale socket file from a dead daemon blocks bind; a LIVE daemon on the
+  // same path is indistinguishable from a stale file without connecting, so
+  // we follow the usual unlink-then-bind convention and document "one daemon
+  // per path".
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot bind/listen on " + options_.socket_path +
+                             ": " + reason);
+  }
+  log_.emit(kServerClock, "service-listening", options_.socket_path);
+}
+
+ServiceServer::~ServiceServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+std::size_t ServiceServer::run() {
+  struct Connection {
+    int fd;
+    std::string buffer;
+  };
+  std::vector<Connection> connections;
+  std::size_t served = 0;
+
+  const auto close_connection = [&](std::size_t index) {
+    ::close(connections[index].fd);
+    connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(index));
+  };
+
+  while (!stop_) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& connection : connections) {
+      fds.push_back({connection.fd, POLLIN, 0});
+    }
+    const int timeout_ms = static_cast<int>(options_.poll_interval_s * 1000.0);
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("poll failed on the service socket");
+    }
+    if (ready == 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0 &&
+        connections.size() < options_.max_connections) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) connections.push_back(Connection{fd, ""});
+    }
+
+    // Drain every ready connection; the complete lines gathered across ALL
+    // of them form one service batch.
+    std::vector<std::pair<std::size_t, std::string>> batch;  // (conn index, line)
+    std::vector<std::size_t> hangups;
+    for (std::size_t c = 0; c < connections.size(); ++c) {
+      if ((fds[c + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char chunk[65536];
+      const ssize_t n = ::recv(connections[c].fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+        hangups.push_back(c);
+        continue;
+      }
+      connections[c].buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t newline = connections[c].buffer.find('\n', start);
+        if (newline == std::string::npos) break;
+        batch.emplace_back(c, connections[c].buffer.substr(start, newline - start));
+        start = newline + 1;
+      }
+      connections[c].buffer.erase(0, start);
+    }
+
+    if (!batch.empty()) {
+      std::vector<std::string> lines;
+      lines.reserve(batch.size());
+      for (const auto& [c, line] : batch) lines.push_back(line);
+      const auto responses = service_.handle_batch(lines);
+      served += lines.size();
+      log_.emit(kServerClock, "service-batch", "",
+                std::to_string(lines.size()) + " request(s)");
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        try {
+          send_all(connections[batch[i].first].fd, responses[i] + "\n");
+        } catch (const std::exception&) {
+          // The client vanished between request and response; its fd is
+          // collected by the hangup pass on the next drain.
+        }
+      }
+    }
+
+    // Close from the back so earlier indices stay valid.
+    for (auto it = hangups.rbegin(); it != hangups.rend(); ++it) {
+      close_connection(*it);
+    }
+
+    if (service_.shutdown_requested()) break;
+  }
+
+  for (auto& connection : connections) ::close(connection.fd);
+  log_.emit(kServerClock, "service-stopped", options_.socket_path,
+            std::to_string(served) + " request(s) served");
+  return served;
+}
+
+ServiceClient::ServiceClient(const std::string& socket_path) {
+  const auto address = make_address(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("cannot create socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to " + socket_path + ": " + reason);
+  }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string ServiceClient::request(const std::string& line) {
+  send_all(fd_, line + "\n");
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return response;
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw std::runtime_error("service hung up before responding");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace hydra::swarm

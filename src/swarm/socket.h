@@ -1,0 +1,76 @@
+// Unix-domain socket transport for the allocation service: a poll()-driven
+// accept loop that drains complete request lines from every ready
+// connection, hands the whole drain to AllocationService::handle_batch (one
+// engine pass per scheme group — this drain IS the batching seam), and
+// writes each response line back to its connection in order.
+//
+// Single-threaded by design: the engine parallelizes inside a batch
+// (ServiceOptions::jobs), so a multithreaded accept loop would buy nothing
+// and cost the cache a lock.  Clients hold one connection and pipeline
+// requests; responses come back in request order per connection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "swarm/events.h"
+#include "swarm/service.h"
+
+namespace hydra::swarm {
+
+struct ServerOptions {
+  std::string socket_path;       ///< filesystem path of the listening socket
+  std::size_t max_connections = 64;
+  double poll_interval_s = 0.25; ///< poll() timeout between idle wakeups
+};
+
+class ServiceServer {
+ public:
+  /// Binds and listens immediately (unlinking a stale socket file), so a
+  /// caller returning from the constructor can already connect.  Throws
+  /// std::runtime_error on bind/listen failure.  `service` and `log` are
+  /// borrowed and must outlive the server.
+  ServiceServer(AllocationService& service, ServerOptions options, EventLog& log);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Serves until the service accepts a shutdown op (or stop() is called
+  /// from another thread).  Returns the number of request lines served.
+  std::size_t run();
+
+  /// Thread-safe: asks the loop to exit at its next wakeup.
+  void stop() { stop_ = true; }
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  AllocationService& service_;
+  ServerOptions options_;
+  EventLog& log_;
+  int listen_fd_ = -1;
+  volatile bool stop_ = false;
+};
+
+/// Minimal blocking client for tools, tests and shell recipes: one
+/// connection, one request line in, one response line out.
+class ServiceClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit ServiceClient(const std::string& socket_path);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Sends `line` (newline appended) and blocks for the one response line.
+  /// Throws std::runtime_error if the server hangs up first.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace hydra::swarm

@@ -1,0 +1,184 @@
+#include "swarm/supervisor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hydra::swarm {
+
+Supervisor::Supervisor(ProcessBackend& backend, SupervisorPolicy policy,
+                       EventLog& log, Clock clock)
+    : backend_(backend), policy_(policy), log_(log), clock_(std::move(clock)) {
+  if (policy_.max_attempts < 1) {
+    throw std::invalid_argument("supervisor policy needs max_attempts >= 1");
+  }
+  if (policy_.backoff_initial_s < 0 || policy_.backoff_max_s < 0 ||
+      policy_.backoff_factor < 1.0) {
+    throw std::invalid_argument(
+        "supervisor backoff needs initial/max >= 0 and factor >= 1");
+  }
+  if (!clock_) throw std::invalid_argument("supervisor needs a clock");
+}
+
+std::size_t Supervisor::add_task(std::string name, WorkerSpec spec) {
+  Task task;
+  task.status.name = std::move(name);
+  task.status.next_start_t = clock_();
+  task.spec = std::move(spec);
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+double Supervisor::backoff_delay(int attempts) const {
+  // attempts counts launches already consumed; the first restart (attempts
+  // == 1 at death time) waits backoff_initial_s, each later one grows by
+  // backoff_factor up to the ceiling.
+  double delay = policy_.backoff_initial_s;
+  for (int i = 1; i < attempts; ++i) {
+    delay = std::min(delay * policy_.backoff_factor, policy_.backoff_max_s);
+  }
+  return std::min(delay, policy_.backoff_max_s);
+}
+
+void Supervisor::launch(std::size_t index) {
+  Task& task = tasks_[index];
+  const double now = clock_();
+  task.status.worker = backend_.start(task.spec);
+  task.status.state = TaskState::kRunning;
+  ++task.status.attempts;
+  task.last_progress_change_t = now;
+  task.kill_requested = false;
+  task.kill_reason.clear();
+  log_.emit(now, task.status.attempts == 1 ? "worker-started" : "worker-restarted",
+            task.status.name, "attempt " + std::to_string(task.status.attempts) +
+                                  "/" + std::to_string(policy_.max_attempts));
+}
+
+void Supervisor::handle_death(std::size_t index, const ExitStatus& exit) {
+  Task& task = tasks_[index];
+  const double now = clock_();
+  task.status.last_exit = exit;
+  std::string why = exit.describe();
+  if (task.kill_requested) why += " (" + task.kill_reason + ")";
+
+  if (exit.success()) {
+    task.status.state = TaskState::kDone;
+    log_.emit(now, "worker-done", task.status.name,
+              "attempt " + std::to_string(task.status.attempts));
+    return;
+  }
+  if (task.status.attempts >= policy_.max_attempts) {
+    task.status.state = TaskState::kFailed;
+    task.status.failure = why + " after " + std::to_string(task.status.attempts) +
+                          " attempt(s), retry budget exhausted";
+    log_.emit(now, "worker-gave-up", task.status.name, task.status.failure);
+    return;
+  }
+  const double delay = backoff_delay(task.status.attempts);
+  task.status.state = TaskState::kPending;
+  task.status.next_start_t = now + delay;
+  log_.emit(now, "worker-restart-scheduled", task.status.name,
+            why + "; restart in " + std::to_string(delay) + "s");
+}
+
+void Supervisor::tick() {
+  const double now = clock_();
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    Task& task = tasks_[i];
+    switch (task.status.state) {
+      case TaskState::kPending:
+        if (now >= task.status.next_start_t) launch(i);
+        break;
+      case TaskState::kRunning: {
+        if (const auto exit = backend_.poll(task.status.worker)) {
+          handle_death(i, *exit);
+          break;
+        }
+        if (policy_.stall_timeout_s > 0 && !task.kill_requested &&
+            now - task.last_progress_change_t >= policy_.stall_timeout_s) {
+          task.kill_requested = true;
+          task.kill_reason = "stalled for " +
+                             std::to_string(now - task.last_progress_change_t) + "s";
+          log_.emit(now, "worker-stalled", task.status.name, task.kill_reason);
+          backend_.stop(task.status.worker);
+          // The kill lands asynchronously; the death is reaped by a later
+          // poll and routed through the same retry policy as a crash.
+        }
+        break;
+      }
+      case TaskState::kDone:
+      case TaskState::kFailed:
+        break;
+    }
+  }
+}
+
+void Supervisor::report_progress(std::size_t task_index, double progress) {
+  Task& task = tasks_.at(task_index);
+  if (progress == task.status.progress) return;
+  task.status.progress = progress;
+  task.last_progress_change_t = clock_();
+}
+
+void Supervisor::kill(std::size_t task_index, const std::string& reason) {
+  Task& task = tasks_.at(task_index);
+  if (task.status.state != TaskState::kRunning) return;
+  task.kill_requested = true;
+  task.kill_reason = reason;
+  log_.emit(clock_(), "worker-killed", task.status.name, reason);
+  backend_.stop(task.status.worker);
+}
+
+void Supervisor::shutdown(const std::string& reason) {
+  const double now = clock_();
+  for (auto& task : tasks_) {
+    switch (task.status.state) {
+      case TaskState::kRunning:
+        backend_.stop(task.status.worker);
+        // Reap synchronously so no worker outlives the swarm; the backend's
+        // poll blocks only until the SIGKILL lands.
+        for (;;) {
+          if (const auto exit = backend_.poll(task.status.worker)) {
+            task.status.last_exit = *exit;
+            break;
+          }
+        }
+        [[fallthrough]];
+      case TaskState::kPending:
+        task.status.state = TaskState::kFailed;
+        task.status.failure = "shutdown: " + reason;
+        log_.emit(now, "worker-shutdown", task.status.name, reason);
+        break;
+      case TaskState::kDone:
+      case TaskState::kFailed:
+        break;
+    }
+  }
+}
+
+bool Supervisor::all_done() const {
+  return std::all_of(tasks_.begin(), tasks_.end(), [](const Task& t) {
+    return t.status.state == TaskState::kDone;
+  });
+}
+
+bool Supervisor::any_failed() const {
+  return std::any_of(tasks_.begin(), tasks_.end(), [](const Task& t) {
+    return t.status.state == TaskState::kFailed;
+  });
+}
+
+bool Supervisor::finished() const {
+  return std::all_of(tasks_.begin(), tasks_.end(), [](const Task& t) {
+    return t.status.state == TaskState::kDone || t.status.state == TaskState::kFailed;
+  });
+}
+
+std::size_t Supervisor::restarts() const {
+  std::size_t n = 0;
+  for (const auto& task : tasks_) {
+    if (task.status.attempts > 1) n += static_cast<std::size_t>(task.status.attempts - 1);
+  }
+  return n;
+}
+
+}  // namespace hydra::swarm

@@ -433,3 +433,52 @@ TEST(ParseJsonlRow, ForeignProducersAreRejected) {
   EXPECT_FALSE(
       hexp::parse_jsonl_row("{\"cell\":\"x\",\"seed\":1e99}").has_value());
 }
+
+TEST(MergeCheckpoints, CompleteFlagDistinguishesFullFromPartialUnions) {
+  // The MergeResult::complete / incomplete_reason pair is the library form
+  // of hydra_merge's exit-code contract (0 complete, 3 partial-but-
+  // consistent): an allow-partial merge must still KNOW whether it happens
+  // to be complete, so watcher loops can poll cheaply.
+  const auto& fix = fixture();
+  const TempFile s0("flag0.jsonl", fix.shard_content[0]);
+  const TempFile s1("flag1.jsonl", fix.shard_content[1]);
+
+  hexp::MergeOptions allow_partial;
+  allow_partial.require_complete = false;
+
+  // Full shard set: complete even under allow-partial.
+  const auto full = hexp::merge_checkpoints({s0.path, s1.path}, allow_partial);
+  EXPECT_TRUE(full.complete);
+  EXPECT_TRUE(full.incomplete_reason.empty()) << full.incomplete_reason;
+
+  // Missing sibling shard: consistent union, but provably incomplete.
+  const auto half = hexp::merge_checkpoints({s0.path}, allow_partial);
+  EXPECT_FALSE(half.complete);
+  EXPECT_FALSE(half.incomplete_reason.empty());
+
+  // A truncated shard (lost rows, intact header) is incomplete too, and the
+  // reason is exactly what require_complete would have thrown.
+  auto lines = fix.shard_lines[1];
+  lines.pop_back();
+  const TempFile cut("flagcut.jsonl", join_lines(lines));
+  const auto torn = hexp::merge_checkpoints({s0.path, cut.path}, allow_partial);
+  EXPECT_FALSE(torn.complete);
+  try {
+    hexp::merge_checkpoints({s0.path, cut.path}, hexp::MergeOptions{});
+    FAIL() << "require_complete accepted a truncated shard";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(torn.incomplete_reason, error.what());
+  }
+}
+
+TEST(MergeCheckpoints, HeaderlessInputsAreNeverComplete) {
+  // A bare row stream (no shard headers) can be a fine resume checkpoint,
+  // but nothing proves full-grid coverage — complete must stay false.
+  const auto& fix = fixture();
+  const TempFile bare("noheader.jsonl", fix.full);
+  hexp::MergeOptions allow_partial;
+  allow_partial.require_complete = false;
+  const auto merged = hexp::merge_checkpoints({bare.path}, allow_partial);
+  EXPECT_FALSE(merged.complete);
+  EXPECT_FALSE(merged.incomplete_reason.empty());
+}

@@ -1,0 +1,313 @@
+// Supervisor edge cases driven through a fake backend and a fake clock: no
+// real processes, no real sleeping, so every path — crash, backoff growth,
+// stall kill, chaos kill, retry exhaustion, shutdown — is deterministic.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "swarm/supervisor.h"
+
+namespace swarm = hydra::swarm;
+
+namespace {
+
+/// In-memory backend: workers "run" until the test finishes them.  stop()
+/// lands a SIGKILL synchronously (the next poll reaps it), matching the
+/// contract the real backend provides.
+class FakeBackend : public swarm::ProcessBackend {
+ public:
+  swarm::WorkerId start(const swarm::WorkerSpec& spec) override {
+    const swarm::WorkerId id = next_id_++;
+    specs_[id] = spec;
+    ++launches_;
+    return id;
+  }
+
+  std::optional<swarm::ExitStatus> poll(swarm::WorkerId id) override {
+    const auto it = exits_.find(id);
+    if (it == exits_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void stop(swarm::WorkerId id) override {
+    if (exits_.find(id) == exits_.end()) {
+      exits_[id] = swarm::ExitStatus{/*signaled=*/true, /*value=*/9};
+    }
+    ++stops_;
+  }
+
+  /// Test control: end a worker with an explicit status.
+  void finish(swarm::WorkerId id, bool signaled, int value) {
+    exits_[id] = swarm::ExitStatus{signaled, value};
+  }
+
+  const swarm::WorkerSpec& spec(swarm::WorkerId id) const { return specs_.at(id); }
+  int launches() const { return launches_; }
+  int stops() const { return stops_; }
+
+ private:
+  swarm::WorkerId next_id_ = 1;
+  std::map<swarm::WorkerId, swarm::WorkerSpec> specs_;
+  std::map<swarm::WorkerId, swarm::ExitStatus> exits_;
+  int launches_ = 0;
+  int stops_ = 0;
+};
+
+swarm::WorkerSpec spec_named(const std::string& name) {
+  swarm::WorkerSpec spec;
+  spec.argv = {"/bin/worker", name};
+  return spec;
+}
+
+struct Fixture {
+  double now = 0.0;
+  FakeBackend backend;
+  swarm::EventLog log;
+  swarm::SupervisorPolicy policy;
+
+  swarm::Supervisor make() {
+    return swarm::Supervisor(backend, policy, log, [this] { return now; });
+  }
+};
+
+TEST(SwarmSupervisor, PolicyValidation) {
+  Fixture fx;
+  fx.policy.max_attempts = 0;
+  EXPECT_THROW(fx.make(), std::invalid_argument);
+  fx.policy = {};
+  fx.policy.backoff_factor = 0.5;
+  EXPECT_THROW(fx.make(), std::invalid_argument);
+}
+
+TEST(SwarmSupervisor, CleanRunToDone) {
+  Fixture fx;
+  auto supervisor = fx.make();
+  const auto a = supervisor.add_task("shard-0", spec_named("a"));
+  const auto b = supervisor.add_task("shard-1", spec_named("b"));
+
+  supervisor.tick();  // both launch immediately
+  EXPECT_EQ(fx.backend.launches(), 2);
+  EXPECT_EQ(supervisor.status(a).state, swarm::TaskState::kRunning);
+
+  fx.backend.finish(supervisor.status(a).worker, false, 0);
+  fx.backend.finish(supervisor.status(b).worker, false, 0);
+  fx.now = 1.0;
+  supervisor.tick();
+
+  EXPECT_TRUE(supervisor.all_done());
+  EXPECT_TRUE(supervisor.finished());
+  EXPECT_FALSE(supervisor.any_failed());
+  EXPECT_EQ(supervisor.restarts(), 0u);
+  EXPECT_EQ(fx.log.count("worker-started"), 2u);
+  EXPECT_EQ(fx.log.count("worker-done"), 2u);
+}
+
+TEST(SwarmSupervisor, CrashRestartsWithExponentialBackoff) {
+  Fixture fx;
+  fx.policy.max_attempts = 4;
+  fx.policy.backoff_initial_s = 0.5;
+  fx.policy.backoff_factor = 2.0;
+  fx.policy.backoff_max_s = 1.5;  // cap below the un-capped third delay (2.0)
+  auto supervisor = fx.make();
+  const auto t = supervisor.add_task("shard-0", spec_named("crashy"));
+
+  supervisor.tick();
+  fx.backend.finish(supervisor.status(t).worker, true, 11);  // SIGSEGV
+  fx.now = 1.0;
+  supervisor.tick();
+  ASSERT_EQ(supervisor.status(t).state, swarm::TaskState::kPending);
+  EXPECT_DOUBLE_EQ(supervisor.status(t).next_start_t, 1.0 + 0.5);
+
+  // Not eligible before the backoff elapses.
+  fx.now = 1.2;
+  supervisor.tick();
+  EXPECT_EQ(supervisor.status(t).state, swarm::TaskState::kPending);
+
+  fx.now = 1.5;
+  supervisor.tick();
+  ASSERT_EQ(supervisor.status(t).state, swarm::TaskState::kRunning);
+  EXPECT_EQ(supervisor.status(t).attempts, 2);
+
+  fx.backend.finish(supervisor.status(t).worker, true, 11);
+  fx.now = 2.0;
+  supervisor.tick();
+  EXPECT_DOUBLE_EQ(supervisor.status(t).next_start_t, 2.0 + 1.0);  // 0.5 * 2
+
+  fx.now = 3.0;
+  supervisor.tick();
+  fx.backend.finish(supervisor.status(t).worker, true, 11);
+  fx.now = 4.0;
+  supervisor.tick();
+  // Third restart delay would be 2.0 but the ceiling clamps it to 1.5.
+  EXPECT_DOUBLE_EQ(supervisor.status(t).next_start_t, 4.0 + 1.5);
+
+  fx.now = 6.0;
+  supervisor.tick();
+  ASSERT_EQ(supervisor.status(t).attempts, 4);
+  fx.backend.finish(supervisor.status(t).worker, false, 0);
+  supervisor.tick();
+  EXPECT_TRUE(supervisor.all_done());
+  EXPECT_EQ(supervisor.restarts(), 3u);
+  EXPECT_EQ(fx.log.count("worker-restarted"), 3u);
+}
+
+TEST(SwarmSupervisor, RetryExhaustionFailsLoudly) {
+  Fixture fx;
+  fx.policy.max_attempts = 2;
+  fx.policy.backoff_initial_s = 0.0;
+  auto supervisor = fx.make();
+  const auto t = supervisor.add_task("shard-0", spec_named("doomed"));
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    supervisor.tick();
+    ASSERT_EQ(supervisor.status(t).state, swarm::TaskState::kRunning);
+    fx.backend.finish(supervisor.status(t).worker, true, 9);
+    fx.now += 1.0;
+    supervisor.tick();
+  }
+
+  ASSERT_EQ(supervisor.status(t).state, swarm::TaskState::kFailed);
+  EXPECT_TRUE(supervisor.any_failed());
+  EXPECT_TRUE(supervisor.finished());
+  EXPECT_FALSE(supervisor.all_done());
+  // The terminal failure names the exhausted budget — the LOUD part.
+  EXPECT_NE(supervisor.status(t).failure.find("retry budget exhausted"),
+            std::string::npos);
+  EXPECT_EQ(fx.log.count("worker-gave-up"), 1u);
+  // A finished-but-failed swarm never launches more workers.
+  supervisor.tick();
+  EXPECT_EQ(fx.backend.launches(), 2);
+}
+
+TEST(SwarmSupervisor, StallTimeoutKillsAndRestarts) {
+  Fixture fx;
+  fx.policy.stall_timeout_s = 5.0;
+  fx.policy.backoff_initial_s = 0.0;
+  auto supervisor = fx.make();
+  const auto t = supervisor.add_task("shard-0", spec_named("wedged"));
+
+  supervisor.tick();
+  supervisor.report_progress(t, 100.0);
+
+  fx.now = 4.9;  // just under the timeout since the progress change
+  supervisor.tick();
+  EXPECT_EQ(fx.backend.stops(), 0);
+
+  fx.now = 5.0;
+  supervisor.tick();  // fires the stall kill; death reaped on a later tick
+  EXPECT_EQ(fx.backend.stops(), 1);
+  EXPECT_EQ(fx.log.count("worker-stalled"), 1u);
+
+  fx.now = 5.1;
+  supervisor.tick();  // reap the SIGKILL, schedule the restart
+  fx.now = 5.2;
+  supervisor.tick();
+  EXPECT_EQ(supervisor.status(t).state, swarm::TaskState::kRunning);
+  EXPECT_EQ(supervisor.status(t).attempts, 2);
+}
+
+TEST(SwarmSupervisor, ProgressChangeResetsStallTimer) {
+  Fixture fx;
+  fx.policy.stall_timeout_s = 5.0;
+  auto supervisor = fx.make();
+  const auto t = supervisor.add_task("shard-0", spec_named("busy"));
+
+  supervisor.tick();
+  supervisor.report_progress(t, 10.0);
+  fx.now = 4.0;
+  supervisor.report_progress(t, 20.0);  // growth resets
+  fx.now = 8.0;
+  // A restarted worker truncates and rewrites its checkpoint, so a SHRINK is
+  // progress too — only an unchanged value may trip the stall timer.
+  supervisor.report_progress(t, 5.0);
+  fx.now = 12.0;
+  supervisor.tick();
+  EXPECT_EQ(fx.backend.stops(), 0);
+
+  fx.now = 13.0;
+  supervisor.tick();  // 5s with no change since t=8 → stalled
+  EXPECT_EQ(fx.backend.stops(), 1);
+}
+
+TEST(SwarmSupervisor, ChaosKillRoutesThroughRetryPolicy) {
+  Fixture fx;
+  fx.policy.backoff_initial_s = 0.0;
+  auto supervisor = fx.make();
+  const auto t = supervisor.add_task("shard-0", spec_named("victim"));
+
+  supervisor.tick();
+  supervisor.kill(t, "chaos injection");
+  EXPECT_EQ(fx.log.count("worker-killed"), 1u);
+
+  fx.now = 1.0;
+  supervisor.tick();  // reap, schedule
+  fx.now = 2.0;
+  supervisor.tick();  // relaunch
+  EXPECT_EQ(supervisor.status(t).state, swarm::TaskState::kRunning);
+  EXPECT_EQ(supervisor.status(t).attempts, 2);
+
+  // Killing a finished task is a no-op.
+  fx.backend.finish(supervisor.status(t).worker, false, 0);
+  supervisor.tick();
+  supervisor.kill(t, "too late");
+  EXPECT_EQ(supervisor.status(t).state, swarm::TaskState::kDone);
+  EXPECT_EQ(fx.log.count("worker-killed"), 1u);
+}
+
+TEST(SwarmSupervisor, ShutdownKillsEverythingUnfinished) {
+  Fixture fx;
+  fx.policy.backoff_initial_s = 10.0;
+  auto supervisor = fx.make();
+  const auto running = supervisor.add_task("shard-0", spec_named("a"));
+  const auto pending = supervisor.add_task("shard-1", spec_named("b"));
+  const auto done = supervisor.add_task("shard-2", spec_named("c"));
+
+  supervisor.tick();
+  fx.backend.finish(supervisor.status(done).worker, false, 0);
+  fx.backend.finish(supervisor.status(pending).worker, true, 9);
+  fx.now = 1.0;
+  supervisor.tick();  // done→kDone, pending→crash→kPending (10s backoff)
+  ASSERT_EQ(supervisor.status(pending).state, swarm::TaskState::kPending);
+
+  supervisor.shutdown("sibling failed");
+  EXPECT_EQ(supervisor.status(running).state, swarm::TaskState::kFailed);
+  EXPECT_EQ(supervisor.status(pending).state, swarm::TaskState::kFailed);
+  EXPECT_EQ(supervisor.status(done).state, swarm::TaskState::kDone);
+  EXPECT_TRUE(supervisor.finished());
+  EXPECT_EQ(fx.log.count("worker-shutdown"), 2u);
+}
+
+TEST(SwarmSupervisor, EventsCarryMonotoneSequence) {
+  Fixture fx;
+  auto supervisor = fx.make();
+  supervisor.add_task("shard-0", spec_named("a"));
+  supervisor.tick();
+  fx.backend.finish(supervisor.status(0).worker, false, 0);
+  supervisor.tick();
+
+  const auto events = fx.log.snapshot();
+  ASSERT_GE(events.size(), 2u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+  }
+  EXPECT_EQ(events.front().kind, "worker-started");
+  EXPECT_EQ(events.back().kind, "worker-done");
+}
+
+TEST(SwarmSupervisor, WorkerSpecPassedToBackendVerbatim) {
+  Fixture fx;
+  auto supervisor = fx.make();
+  swarm::WorkerSpec spec;
+  spec.argv = {"/bin/sweep", "--shard", "1/3"};
+  spec.stdout_path = "/tmp/s.log";
+  const auto t = supervisor.add_task("shard-1", spec);
+  supervisor.tick();
+  const auto& seen = fx.backend.spec(supervisor.status(t).worker);
+  EXPECT_EQ(seen.argv, spec.argv);
+  EXPECT_EQ(seen.stdout_path, "/tmp/s.log");
+}
+
+}  // namespace

@@ -14,14 +14,26 @@
 // a complete --resume checkpoint (e.g. to re-print tables without
 // recomputing anything).
 //
-// Usage: hydra_merge [--out merged.jsonl] [--allow-partial]
+// Usage: hydra_merge [--out merged.jsonl] [--allow-partial] [--check]
 //                    [--expect-fingerprint HEX] shard0.jsonl shard1.jsonl ...
 //
 //   --out                 write here instead of stdout
 //   --allow-partial       union whatever is present instead of requiring a
 //                         complete shard set (the result is then only a
 //                         --resume checkpoint, not the full stream)
+//   --check               consistency/progress probe: merge in memory, print
+//                         one status line, write NOTHING (implies
+//                         --allow-partial) — the cheap form a watcher loop
+//                         polls between merges
 //   --expect-fingerprint  additionally pin the shards' spec fingerprint
+//
+// Exit codes (the scriptable contract orchestrators and CI poll on):
+//   0  complete — the merged stream provably reconstructs the full grid
+//   3  partial but consistent — no conflicts, but cells/shards are missing
+//      (only reachable with --allow-partial or --check; a bare run throws)
+//   1  inconsistent or unreadable inputs (conflicting duplicates, foreign
+//      fingerprints, corrupt lines, missing files)
+//   2  usage error
 #include <fstream>
 #include <iostream>
 
@@ -33,19 +45,38 @@ namespace hexp = hydra::exp;
 int main(int argc, char** argv) {
   try {
     const hydra::util::CliParser cli(argc, argv, /*allow_positionals=*/true,
-                                     /*value_less_flags=*/{"allow-partial"});
+                                     /*value_less_flags=*/{"allow-partial", "check"});
     const auto& shards = cli.positionals();
     if (shards.empty()) {
       std::cerr << "usage: " << cli.program()
-                << " [--out merged.jsonl] [--allow-partial]"
+                << " [--out merged.jsonl] [--allow-partial] [--check]"
                    " [--expect-fingerprint HEX] shard0.jsonl shard1.jsonl ...\n";
+      return 2;
+    }
+    const bool check = cli.get_bool("check", false);
+    if (check && cli.has("out")) {
+      std::cerr << "hydra_merge: --check writes nothing; drop --out or --check\n";
       return 2;
     }
 
     hexp::MergeOptions options;
-    options.require_complete = !cli.get_bool("allow-partial", false);
+    options.require_complete = !check && !cli.get_bool("allow-partial", false);
     options.expect_fingerprint = cli.get_string("expect-fingerprint", "");
     const auto merged = hexp::merge_checkpoints(shards, options);
+
+    if (check) {
+      // One greppable status line on stdout; the exit code carries the same
+      // verdict for scripts that do not parse.
+      std::cout << (merged.complete ? "complete" : "partial") << " cells="
+                << merged.cells.size() << " rows=" << merged.rows;
+      if (merged.header.has_value()) {
+        std::cout << " shards=" << merged.header->shards << " fingerprint="
+                  << merged.header->fingerprint;
+      }
+      std::cout << "\n";
+      if (!merged.complete) std::cerr << "hydra_merge: " << merged.incomplete_reason << "\n";
+      return merged.complete ? 0 : 3;
+    }
 
     if (cli.has("out")) {
       const auto path = cli.get_string("out", "");
@@ -72,8 +103,11 @@ int main(int argc, char** argv) {
     if (merged.torn_lines > 0) {
       std::cerr << "; discarded " << merged.torn_lines << " torn trailing line(s)";
     }
+    if (!merged.complete) {
+      std::cerr << "; PARTIAL: " << merged.incomplete_reason;
+    }
     std::cerr << "\n";
-    return 0;
+    return merged.complete ? 0 : 3;
   } catch (const std::exception& error) {
     std::cerr << "hydra_merge: " << error.what() << "\n";
     return 1;

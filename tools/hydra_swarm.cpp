@@ -1,0 +1,227 @@
+// hydra_swarm: shard orchestrator + allocation-service front end.
+//
+// Three subcommands (the first positional picks the mode):
+//
+//   sweep — fan a sharded sweep command out over N local worker processes,
+//   restart the dead and the wedged (bounded retries, exponential backoff),
+//   surface live partials, and emit a final merged stream byte-identical to
+//   the single-process run:
+//
+//     hydra_swarm sweep --shards 3 --dir /tmp/swarm --out merged.jsonl
+//         -- ./build/bench_fig2_acceptance --replications 20
+//
+//   Everything after `--` is the worker command; the orchestrator appends
+//   `--shard i/N --out <dir>/shard_i.jsonl --resume <dir>/shard_i.jsonl` per
+//   worker, so any sweep tool that understands those three flags can swarm.
+//
+//   serve — long-running allocation daemon over a Unix-domain socket,
+//   line-delimited JSON in/out, batching concurrent requests through one
+//   engine pass and caching responses by spec fingerprint:
+//
+//     hydra_swarm serve --socket /tmp/hydra.sock --schemes hydra,optimal
+//
+//   request — one-shot client for the daemon (shell recipes, CI smoke):
+//
+//     hydra_swarm request --socket /tmp/hydra.sock --taskset set.txt
+//     hydra_swarm request --socket /tmp/hydra.sock --stats
+//     hydra_swarm request --socket /tmp/hydra.sock --shutdown
+//
+// Exit codes: 0 success; 1 swarm/request failure (sweep mode prints the
+// salvage command before exiting); 2 usage error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/sinks.h"
+#include "swarm/process.h"
+#include "swarm/service.h"
+#include "swarm/socket.h"
+#include "swarm/sweep_runner.h"
+#include "util/cli.h"
+
+namespace swarm = hydra::swarm;
+
+namespace {
+
+int usage(const std::string& program) {
+  std::cerr
+      << "usage: " << program << " <mode> [options]\n"
+      << "  sweep   --shards N --dir DIR [--out F] [--partial F] [--events F]\n"
+      << "          [--poll S] [--merge-every S] [--max-attempts K]\n"
+      << "          [--stall-timeout S] [--backoff S] [--expect-fingerprint HEX]\n"
+      << "          [--chaos-kill-shard I] [--chaos-after-cells N]\n"
+      << "          -- worker_command worker_args...\n"
+      << "  serve   --socket PATH [--schemes a,b] [--cache-bytes N] [--jobs N]\n"
+      << "          [--optimal-budget N] [--poll S] [--events F]\n"
+      << "  request --socket PATH (--taskset FILE [--schemes a,b] | --stats |\n"
+      << "          --ping | --shutdown | --raw LINE)\n";
+  return 2;
+}
+
+/// Sink selected by --events: a file stream, or none.
+struct EventSink {
+  std::ofstream file;
+  std::ostream* stream = nullptr;
+
+  explicit EventSink(const std::string& path) {
+    if (path.empty()) return;
+    file.open(path, std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot open events file: " + path);
+    stream = &file;
+  }
+};
+
+int run_sweep(int argc, char** argv) {
+  // Everything after a literal `--` is the worker command template; only the
+  // part before it belongs to the orchestrator's parser.
+  int split = argc;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--") {
+      split = i;
+      break;
+    }
+  }
+  const hydra::util::CliParser cli(split, argv, /*allow_positionals=*/true);
+
+  swarm::SweepRunnerOptions options;
+  options.shards = static_cast<std::size_t>(cli.get_int("shards", 2));
+  options.dir = cli.get_string("dir", "");
+  options.out_path = cli.get_string("out", "");
+  options.partial_path = cli.get_string("partial", "");
+  options.poll_interval_s = cli.get_double("poll", 0.25);
+  options.merge_interval_s = cli.get_double("merge-every", 5.0);
+  options.policy.max_attempts = static_cast<int>(cli.get_int("max-attempts", 3));
+  options.policy.stall_timeout_s = cli.get_double("stall-timeout", 0.0);
+  options.policy.backoff_initial_s = cli.get_double("backoff", 0.5);
+  options.expect_fingerprint = cli.get_string("expect-fingerprint", "");
+  options.chaos_kill_shard = static_cast<int>(cli.get_int("chaos-kill-shard", -1));
+  options.chaos_after_rows =
+      static_cast<std::size_t>(cli.get_int("chaos-after-cells", 1));
+  for (int i = split + 1; i < argc; ++i) {
+    options.worker_command.emplace_back(argv[i]);
+  }
+  if (options.dir.empty() || options.worker_command.empty()) {
+    std::cerr << "hydra_swarm sweep: need --dir and a worker command after --\n";
+    return 2;
+  }
+
+  EventSink events(cli.get_string("events", ""));
+  swarm::EventLog log(events.stream);
+  swarm::LocalProcessBackend backend;
+  swarm::SweepRunner runner(std::move(options), backend, log);
+  const auto result = runner.run(std::cerr);
+  if (!result.ok) {
+    std::cerr << "hydra_swarm: " << result.error << "\n";
+    return 1;
+  }
+  std::cerr << "hydra_swarm: swarm complete — " << result.cells << " cells, "
+            << result.rows << " rows, " << result.restarts << " restart(s)\n";
+  return 0;
+}
+
+int run_serve(int argc, char** argv) {
+  const hydra::util::CliParser cli(argc, argv, /*allow_positionals=*/true);
+  const std::string socket_path = cli.get_string("socket", "");
+  if (socket_path.empty()) {
+    std::cerr << "hydra_swarm serve: need --socket PATH\n";
+    return 2;
+  }
+
+  swarm::ServiceOptions service_options;
+  service_options.default_schemes =
+      cli.get_string_list("schemes", service_options.default_schemes);
+  service_options.cache_budget_bytes = static_cast<std::size_t>(cli.get_int(
+      "cache-bytes", static_cast<std::int64_t>(service_options.cache_budget_bytes)));
+  service_options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  service_options.optimal_budget = static_cast<std::size_t>(cli.get_int(
+      "optimal-budget", static_cast<std::int64_t>(service_options.optimal_budget)));
+
+  swarm::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.poll_interval_s = cli.get_double("poll", 0.25);
+
+  EventSink events(cli.get_string("events", ""));
+  swarm::EventLog log(events.stream);
+  swarm::AllocationService service(service_options);
+  swarm::ServiceServer server(service, server_options, log);
+  std::cerr << "hydra_swarm: serving on " << socket_path << "\n";
+  const std::size_t served = server.run();
+  std::cerr << "hydra_swarm: served " << served << " request(s); "
+            << service.stats().hits << " cache hit(s), "
+            << service.stats().misses << " miss(es)\n";
+  return 0;
+}
+
+int run_request(int argc, char** argv) {
+  const hydra::util::CliParser cli(
+      argc, argv, /*allow_positionals=*/true,
+      /*value_less_flags=*/{"stats", "ping", "shutdown"});
+  const std::string socket_path = cli.get_string("socket", "");
+  if (socket_path.empty()) {
+    std::cerr << "hydra_swarm request: need --socket PATH\n";
+    return 2;
+  }
+
+  std::string line;
+  if (cli.has("raw")) {
+    line = cli.get_string("raw", "");
+  } else if (cli.get_bool("stats", false)) {
+    line = "{\"op\":\"stats\"}";
+  } else if (cli.get_bool("ping", false)) {
+    line = "{\"op\":\"ping\"}";
+  } else if (cli.get_bool("shutdown", false)) {
+    line = "{\"op\":\"shutdown\"}";
+  } else if (cli.has("taskset")) {
+    const std::string path = cli.get_string("taskset", "");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "hydra_swarm request: cannot read taskset file: " << path << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    line = "{\"op\":\"allocate\",\"taskset_text\":\"" +
+           hydra::exp::json_escape(text.str()) + "\"";
+    const auto schemes = cli.get_string_list("schemes", {});
+    if (!schemes.empty()) {
+      line += ",\"schemes\":[";
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        if (i > 0) line += ",";
+        line += "\"" + hydra::exp::json_escape(schemes[i]) + "\"";
+      }
+      line += "]";
+    }
+    line += "}";
+  } else {
+    std::cerr << "hydra_swarm request: need --taskset, --stats, --ping,"
+                 " --shutdown or --raw\n";
+    return 2;
+  }
+
+  swarm::ServiceClient client(socket_path);
+  const std::string response = client.request(line);
+  std::cout << response << "\n";
+  // Scripts branch on the exit code without parsing JSON.
+  return response.rfind("{\"ok\":true", 0) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage(argv[0]);
+    const std::string mode = argv[1];
+    // Re-point argv so each mode parser sees `hydra_swarm-<mode>` as argv[0]
+    // and the mode's own options from argv[1] on.
+    if (mode == "sweep") return run_sweep(argc - 1, argv + 1);
+    if (mode == "serve") return run_serve(argc - 1, argv + 1);
+    if (mode == "request") return run_request(argc - 1, argv + 1);
+    std::cerr << "hydra_swarm: unknown mode \"" << mode << "\"\n";
+    return usage(argv[0]);
+  } catch (const std::exception& error) {
+    std::cerr << "hydra_swarm: " << error.what() << "\n";
+    return 1;
+  }
+}
