@@ -26,7 +26,9 @@ void redirect_or_die(const std::string& path, int target_fd) {
   if (path.empty()) return;
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0 || ::dup2(fd, target_fd) < 0) _exit(126);
-  ::close(fd);
+  // If target_fd was closed at fork time, open() may hand us target_fd
+  // itself; closing it then would undo the redirect we just set up.
+  if (fd != target_fd) ::close(fd);
 }
 
 }  // namespace

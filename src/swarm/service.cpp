@@ -221,95 +221,108 @@ std::vector<std::string> AllocationService::handle_batch(
 
   for (const auto& [group_key, members] : groups) {
     (void)group_key;
-    // Captured DesignPoints keyed by (canonical instance text, scheme): the
-    // metric hook sees the instance but not the point index, and identical
-    // instances yield identical design points, so content keying is exact.
-    std::mutex capture_mutex;
-    std::map<std::pair<std::string, std::string>, core::DesignPoint> captured;
+    // A group that throws mid-evaluation must not take the daemon (and every
+    // other group's responses) down with it: each member slot gets an error
+    // response instead.
+    try {
+      // Captured DesignPoints keyed by (canonical instance text, scheme): the
+      // metric hook sees the instance but not the point index, and identical
+      // instances yield identical design points, so content keying is exact.
+      std::mutex capture_mutex;
+      std::map<std::pair<std::string, std::string>, core::DesignPoint> captured;
 
-    exp::SweepSpec spec;
-    spec.schemes = pending[members.front()].schemes;
-    for (const std::size_t member : members) {
-      exp::SweepPoint point;
-      point.label = "req" + std::to_string(member);
-      point.instance = pending[member].instance;
-      spec.points.push_back(std::move(point));
-    }
-    spec.replications = 1;
-    spec.base_seed = 1;
-    spec.jobs = options_.jobs;
-    spec.optimal_budget = options_.optimal_budget;
-    spec.metrics.push_back(
-        {"swarm_capture",
-         [&capture_mutex, &captured](const core::Instance& instance,
-                                     const core::DesignPoint& point) {
-           std::lock_guard<std::mutex> lock(capture_mutex);
-           captured[{io::to_text(instance), point.scheme}] = point;
-           return point.normalized_tightness;
-         },
-         ""});
-
-    const exp::Sweep sweep(std::move(spec));
-    const auto summary = sweep.run();
-    ++stats_.engine_batches;
-    stats_.engine_rows += summary.rows.size();
-
-    for (std::size_t position = 0; position < members.size(); ++position) {
-      const PendingRequest& request = pending[members[position]];
-      std::string response = "{\"ok\":true,\"op\":\"allocate\",\"fingerprint\":\"" +
-                             exp::json_escape(request.key) + "\",\"results\":[";
-      bool first = true;
-      for (const auto& row : summary.rows) {
-        if (row.point_index != position) continue;
-        if (!first) response += ",";
-        first = false;
-        response += "{\"scheme\":\"" + exp::json_escape(row.scheme) + "\"";
-        response += ",\"status\":\"" + exp::json_escape(row.status) + "\"";
-        response += ",\"feasible\":" + std::string(row.feasible ? "true" : "false");
-        response += ",\"validated\":" + std::string(row.validated ? "true" : "false");
-        response += ",\"cumulative_tightness\":" + exp::json_number(row.cumulative_tightness);
-        response += ",\"normalized_tightness\":" + exp::json_number(row.normalized_tightness);
-        if (!row.note.empty()) {
-          response += ",\"note\":\"" + exp::json_escape(row.note) + "\"";
-        }
-        const auto captured_it =
-            captured.find({request.instance_text, row.scheme});
-        if (captured_it != captured.end() && row.feasible) {
-          const auto& allocation = captured_it->second.allocation;
-          response += ",\"placements\":[";
-          for (std::size_t s = 0; s < allocation.placements.size(); ++s) {
-            const auto& placement = allocation.placements[s];
-            if (s > 0) response += ",";
-            response += "{\"task\":\"" +
-                        exp::json_escape(request.instance.security_tasks[s].name) +
-                        "\",\"core\":" + std::to_string(placement.core) +
-                        ",\"period_ms\":" + exp::json_number(placement.period) +
-                        ",\"tightness\":" + exp::json_number(placement.tightness) + "}";
-          }
-          response += "]";
-          // The runtime mode table the Contego-style controller consumes:
-          // minimum mode (Tmax fallback) + the adapted periods committed here.
-          const auto modes =
-              core::build_mode_table(request.instance, allocation);
-          response += ",\"modes\":[";
-          for (std::size_t s = 0; s < modes.modes.size(); ++s) {
-            const auto& mode = modes.modes[s];
-            if (s > 0) response += ",";
-            response += "{\"task\":\"" +
-                        exp::json_escape(request.instance.security_tasks[s].name) +
-                        "\",\"core\":" + std::to_string(mode.core) +
-                        ",\"min_period_ms\":" + exp::json_number(mode.min_period) +
-                        ",\"adapted_period_ms\":" + exp::json_number(mode.adapted_period) +
-                        "}";
-          }
-          response += "]";
-        }
-        response += "}";
+      exp::SweepSpec spec;
+      spec.schemes = pending[members.front()].schemes;
+      for (const std::size_t member : members) {
+        exp::SweepPoint point;
+        point.label = "req" + std::to_string(member);
+        point.instance = pending[member].instance;
+        spec.points.push_back(std::move(point));
       }
-      response += "]}";
+      spec.replications = 1;
+      spec.base_seed = 1;
+      spec.jobs = options_.jobs;
+      spec.optimal_budget = options_.optimal_budget;
+      spec.metrics.push_back(
+          {"swarm_capture",
+           [&capture_mutex, &captured](const core::Instance& instance,
+                                       const core::DesignPoint& point) {
+             std::lock_guard<std::mutex> lock(capture_mutex);
+             captured[{io::to_text(instance), point.scheme}] = point;
+             return point.normalized_tightness;
+           },
+           ""});
 
-      cache_insert(request.key, response);
-      for (const std::size_t slot : request.slots) responses[slot] = response;
+      const exp::Sweep sweep(std::move(spec));
+      const auto summary = sweep.run();
+      ++stats_.engine_batches;
+      stats_.engine_rows += summary.rows.size();
+
+      for (std::size_t position = 0; position < members.size(); ++position) {
+        const PendingRequest& request = pending[members[position]];
+        std::string response = "{\"ok\":true,\"op\":\"allocate\",\"fingerprint\":\"" +
+                               exp::json_escape(request.key) + "\",\"results\":[";
+        bool first = true;
+        for (const auto& row : summary.rows) {
+          if (row.point_index != position) continue;
+          if (!first) response += ",";
+          first = false;
+          response += "{\"scheme\":\"" + exp::json_escape(row.scheme) + "\"";
+          response += ",\"status\":\"" + exp::json_escape(row.status) + "\"";
+          response += ",\"feasible\":" + std::string(row.feasible ? "true" : "false");
+          response += ",\"validated\":" + std::string(row.validated ? "true" : "false");
+          response += ",\"cumulative_tightness\":" + exp::json_number(row.cumulative_tightness);
+          response += ",\"normalized_tightness\":" + exp::json_number(row.normalized_tightness);
+          if (!row.note.empty()) {
+            response += ",\"note\":\"" + exp::json_escape(row.note) + "\"";
+          }
+          const auto captured_it =
+              captured.find({request.instance_text, row.scheme});
+          if (captured_it != captured.end() && row.feasible) {
+            const auto& allocation = captured_it->second.allocation;
+            response += ",\"placements\":[";
+            for (std::size_t s = 0; s < allocation.placements.size(); ++s) {
+              const auto& placement = allocation.placements[s];
+              if (s > 0) response += ",";
+              response += "{\"task\":\"" +
+                          exp::json_escape(request.instance.security_tasks[s].name) +
+                          "\",\"core\":" + std::to_string(placement.core) +
+                          ",\"period_ms\":" + exp::json_number(placement.period) +
+                          ",\"tightness\":" + exp::json_number(placement.tightness) + "}";
+            }
+            response += "]";
+            // The runtime mode table the Contego-style controller consumes:
+            // minimum mode (Tmax fallback) + the adapted periods committed here.
+            const auto modes =
+                core::build_mode_table(request.instance, allocation);
+            response += ",\"modes\":[";
+            for (std::size_t s = 0; s < modes.modes.size(); ++s) {
+              const auto& mode = modes.modes[s];
+              if (s > 0) response += ",";
+              response += "{\"task\":\"" +
+                          exp::json_escape(request.instance.security_tasks[s].name) +
+                          "\",\"core\":" + std::to_string(mode.core) +
+                          ",\"min_period_ms\":" + exp::json_number(mode.min_period) +
+                          ",\"adapted_period_ms\":" + exp::json_number(mode.adapted_period) +
+                          "}";
+            }
+            response += "]";
+          }
+          response += "}";
+        }
+        response += "]}";
+
+        cache_insert(request.key, response);
+        for (const std::size_t slot : request.slots) responses[slot] = response;
+      }
+    } catch (const std::exception& error) {
+      const std::string response = error_response(error.what());
+      for (const std::size_t member : members) {
+        for (const std::size_t slot : pending[member].slots) {
+          ++stats_.errors;
+          responses[slot] = response;
+        }
+      }
     }
   }
 

@@ -89,12 +89,17 @@ std::size_t ServiceServer::run() {
     connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(index));
   };
 
-  while (!stop_) {
+  while (!stop_.load()) {
+    // At the connection cap the listen fd stays readable while a client
+    // waits in the backlog; polling it would turn the loop into a busy
+    // spin, so it only joins the pollfd set while a slot is free.
+    const bool accepting = connections.size() < options_.max_connections;
     std::vector<pollfd> fds;
-    fds.push_back({listen_fd_, POLLIN, 0});
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
     for (const auto& connection : connections) {
       fds.push_back({connection.fd, POLLIN, 0});
     }
+    const std::size_t base = accepting ? 1 : 0;
     const int timeout_ms = static_cast<int>(options_.poll_interval_s * 1000.0);
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0) {
@@ -103,18 +108,13 @@ std::size_t ServiceServer::run() {
     }
     if (ready == 0) continue;
 
-    if ((fds[0].revents & POLLIN) != 0 &&
-        connections.size() < options_.max_connections) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd >= 0) connections.push_back(Connection{fd, ""});
-    }
-
     // Drain every ready connection; the complete lines gathered across ALL
-    // of them form one service batch.
+    // of them form one service batch.  Accepting happens AFTER the drain so
+    // fds[base + c] stays aligned with the connections poll() saw.
     std::vector<std::pair<std::size_t, std::string>> batch;  // (conn index, line)
     std::vector<std::size_t> hangups;
     for (std::size_t c = 0; c < connections.size(); ++c) {
-      if ((fds[c + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if ((fds[base + c].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       char chunk[65536];
       const ssize_t n = ::recv(connections[c].fd, chunk, sizeof(chunk), 0);
       if (n <= 0) {
@@ -154,6 +154,11 @@ std::size_t ServiceServer::run() {
     // Close from the back so earlier indices stay valid.
     for (auto it = hangups.rbegin(); it != hangups.rend(); ++it) {
       close_connection(*it);
+    }
+
+    if (accepting && (fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) connections.push_back(Connection{fd, ""});
     }
 
     if (service_.shutdown_requested()) break;

@@ -10,6 +10,7 @@
 // requests; responses come back in request order per connection.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 
@@ -41,7 +42,7 @@ class ServiceServer {
   std::size_t run();
 
   /// Thread-safe: asks the loop to exit at its next wakeup.
-  void stop() { stop_ = true; }
+  void stop() { stop_.store(true); }
 
   const std::string& socket_path() const { return options_.socket_path; }
 
@@ -50,7 +51,7 @@ class ServiceServer {
   ServerOptions options_;
   EventLog& log_;
   int listen_fd_ = -1;
-  volatile bool stop_ = false;
+  std::atomic<bool> stop_{false};
 };
 
 /// Minimal blocking client for tools, tests and shell recipes: one
