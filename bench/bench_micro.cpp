@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "core/hydra.h"
+#include "core/joint_period.h"
 #include "core/optimal.h"
 #include "core/period_adaptation.h"
 #include "core/single_core.h"
@@ -16,6 +17,7 @@
 #include "gen/synthetic.h"
 #include "gen/uav.h"
 #include "rt/analysis.h"
+#include "rt/partition.h"
 #include "sim/attack.h"
 #include "sim/engine.h"
 
@@ -115,6 +117,33 @@ static void BM_HydraAllocateSynthetic(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HydraAllocateSynthetic)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_JointPeriodScp(benchmark::State& state) {
+  // One signomial SCP joint-period solve (condensation rounds over barrier
+  // GP solves) for Arg security tasks sharing one core — the inner kernel of
+  // the exhaustive optimal search and the unit the SCP warm-start/scratch
+  // work accelerates.
+  hydra::util::Xoshiro256 rng(6);
+  core::Instance instance;
+  instance.num_cores = 1;
+  instance.rt_tasks = random_rt_tasks(3, 0.3, rng);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const double t_des = rng.uniform(1000.0, 3000.0);
+    instance.security_tasks.push_back(rt::make_security_task(
+        "s" + std::to_string(i), rng.uniform(0.05, 0.15) * t_des, t_des, 10.0 * t_des));
+  }
+  rt::Partition partition;
+  partition.num_cores = 1;
+  partition.core_of.assign(instance.rt_tasks.size(), 0);
+  const std::vector<std::size_t> core_of(instance.security_tasks.size(), 0);
+  core::JointPeriodOptions options;
+  options.objective = core::JointObjective::kSignomialScp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::optimize_joint_periods(instance, partition, core_of, options));
+  }
+}
+BENCHMARK(BM_JointPeriodScp)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 static void BM_OptimalExhaustive(benchmark::State& state) {
   // M = 2, NS = range: cost doubles per extra task (2^NS joint solves).

@@ -16,6 +16,7 @@ struct CoreState {
   std::vector<rt::PlacedSecurityTask> placed;     ///< committed at Tmax
   std::vector<std::size_t> members;               ///< security indices, priority order
   double utilization = 0.0;                       ///< RT + security-at-Tmax demand
+  rt::InterferenceBound interferers;              ///< Eq. (5) sums, grown per commit
 };
 
 }  // namespace
@@ -32,6 +33,7 @@ Allocation ContegoAllocator::allocate(const Instance& instance,
   for (std::size_t c = 0; c < instance.num_cores; ++c) {
     cores[c].rt_tasks = rt_partition.tasks_on_core(instance.rt_tasks, c);
     for (const auto& t : cores[c].rt_tasks) cores[c].utilization += t.utilization();
+    cores[c].interferers = rt::interference_bound(cores[c].rt_tasks, {});
   }
 
   Allocation result;
@@ -45,8 +47,7 @@ Allocation ContegoAllocator::allocate(const Instance& instance,
     const rt::SecurityTask& task = instance.security_tasks[s];
     std::optional<std::size_t> best_core;
     for (std::size_t c = 0; c < instance.num_cores; ++c) {
-      const auto bound = rt::interference_bound(cores[c].rt_tasks, cores[c].placed);
-      if (!adapt_period(task, bound, options_.solver).feasible) continue;
+      if (!adapt_period(task, cores[c].interferers, options_.solver).feasible) continue;
       if (!best_core.has_value() ||
           cores[c].utilization < cores[*best_core].utilization) {
         best_core = c;
@@ -60,6 +61,7 @@ Allocation ContegoAllocator::allocate(const Instance& instance,
         TaskPlacement{*best_core, task.period_max, task.min_tightness()};
     cores[*best_core].placed.push_back(
         rt::PlacedSecurityTask{task.wcet, task.period_max});
+    cores[*best_core].interferers.add_interferer(task.wcet, task.period_max);
     cores[*best_core].members.push_back(s);
     cores[*best_core].utilization += task.wcet / task.period_max;
   }

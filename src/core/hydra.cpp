@@ -19,9 +19,13 @@ struct CoreState {
   double utilization = 0.0;                           ///< RT + assigned security demand
   util::Millis max_security_wcet = 0.0;               ///< longest hosted scan
 
-  rt::InterferenceBound bound(util::Millis blocking) const {
-    return rt::interference_bound(rt_tasks, placed, blocking);
-  }
+  /// Eq. (5) interferer sums, maintained incrementally: seeded from the RT
+  /// tasks (+ blocking) once, then extended via add_interferer as monitors
+  /// commit — the same accumulation order interference_bound uses, so the
+  /// cached sums are bitwise identical to a fresh rebuild.
+  rt::InterferenceBound interferers;
+
+  const rt::InterferenceBound& bound(util::Millis /*blocking*/) const { return interferers; }
 
   /// Non-preemptive admission: the RT tasks must tolerate being blocked by
   /// the longest scan that would live here if `candidate_wcet` joins.
@@ -45,6 +49,7 @@ Allocation HydraAllocator::allocate(const Instance& instance,
   for (std::size_t c = 0; c < instance.num_cores; ++c) {
     cores[c].rt_tasks = rt_partition.tasks_on_core(instance.rt_tasks, c);
     for (const auto& t : cores[c].rt_tasks) cores[c].utilization += t.utilization();
+    cores[c].interferers = rt::interference_bound(cores[c].rt_tasks, {}, options_.blocking);
   }
 
   Allocation result;
@@ -67,7 +72,8 @@ Allocation HydraAllocator::allocate(const Instance& instance,
       }
       const PeriodAdaptation candidate =
           options_.solver == PeriodSolver::kExactRta
-              ? adapt_period_exact(task, cores[c].rt_tasks, cores[c].placed, options_.blocking)
+              ? adapt_period_exact(task, cores[c].rt_tasks, cores[c].placed, options_.blocking,
+                                   &cores[c].interferers)
               : adapt_period(task, cores[c].bound(options_.blocking), options_.solver);
       if (!candidate.feasible) continue;
 
@@ -110,6 +116,7 @@ Allocation HydraAllocator::allocate(const Instance& instance,
     // Lines 12–13: commit assignment and period.
     result.placements[s] = TaskPlacement{*best_core, best.period, best.tightness};
     cores[*best_core].placed.push_back(rt::PlacedSecurityTask{task.wcet, best.period});
+    cores[*best_core].interferers.add_interferer(task.wcet, best.period);
     cores[*best_core].utilization += task.wcet / best.period;
     cores[*best_core].max_security_wcet = std::max(cores[*best_core].max_security_wcet,
                                                    task.wcet);

@@ -18,10 +18,13 @@ Allocation PeriodAdaptAllocator::allocate(const Instance& instance,
                 "RT partition does not cover the RT task set");
 
   std::vector<std::vector<rt::RtTask>> rt_on_core(instance.num_cores);
-  std::vector<std::vector<rt::PlacedSecurityTask>> placed(instance.num_cores);
   std::vector<std::vector<std::size_t>> members(instance.num_cores);
+  // Per-core Eq. (5) sums, grown per commit (same accumulation order as a
+  // per-probe rebuild, hence bitwise identical).
+  std::vector<rt::InterferenceBound> interferers(instance.num_cores);
   for (std::size_t c = 0; c < instance.num_cores; ++c) {
     rt_on_core[c] = rt_partition.tasks_on_core(instance.rt_tasks, c);
+    interferers[c] = rt::interference_bound(rt_on_core[c], {});
   }
 
   Allocation result;
@@ -34,15 +37,14 @@ Allocation PeriodAdaptAllocator::allocate(const Instance& instance,
     const rt::SecurityTask& task = instance.security_tasks[s];
     std::optional<std::size_t> chosen;
     for (std::size_t c = 0; c < instance.num_cores && !chosen.has_value(); ++c) {
-      const auto bound = rt::interference_bound(rt_on_core[c], placed[c]);
-      if (adapt_period(task, bound, options_.solver).feasible) chosen = c;
+      if (adapt_period(task, interferers[c], options_.solver).feasible) chosen = c;
     }
     if (!chosen.has_value()) {
       return infeasible_allocation(
           s, "no core admits security task '" + task.name + "' at its loosest period");
     }
     result.placements[s] = TaskPlacement{*chosen, task.period_max, task.min_tightness()};
-    placed[*chosen].push_back(rt::PlacedSecurityTask{task.wcet, task.period_max});
+    interferers[*chosen].add_interferer(task.wcet, task.period_max);
     members[*chosen].push_back(s);
   }
 

@@ -91,18 +91,22 @@ std::size_t tighten_core_periods(const std::vector<rt::RtTask>& rt_on_core,
                 "allocations tighten through adapt_period_exact");
   std::size_t changed = 0;
   for (std::size_t round = 0; round < rounds; ++round) {
+    // Eq. (5) sums over the RT tasks plus the already-revisited (tightened)
+    // higher-priority monitors, grown with add_interferer as the pass walks
+    // down the priority order — the same accumulation order a per-task
+    // rebuild would use, so the sums match a rebuild bit-for-bit.  Rebuilt
+    // each round because every period may have moved.
+    rt::InterferenceBound hp_sums = rt::interference_bound(rt_on_core, {}, blocking);
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       const rt::SecurityTask& task = tasks[i].task;
 
       // The task's own Eq. (7) optimum against the tightened hp periods.
-      std::vector<rt::PlacedSecurityTask> hp;
-      hp.reserve(i);
-      for (std::size_t h = 0; h < i; ++h) {
-        hp.push_back(rt::PlacedSecurityTask{tasks[h].task.wcet, tasks[h].period});
+      const PeriodAdaptation own = adapt_period(task, hp_sums, solver);
+      if (!own.feasible) {
+        // Saturated core: keep the (feasible) period.
+        hp_sums.add_interferer(task.wcet, tasks[i].period);
+        continue;
       }
-      const PeriodAdaptation own =
-          adapt_period(task, rt::interference_bound(rt_on_core, hp, blocking), solver);
-      if (!own.feasible) continue;  // saturated core: keep the (feasible) period
 
       // Lower bounds from the not-yet-revisited lower-priority tasks: each τj
       // must stay feasible at its CURRENT period Tj while τi shrinks, i.e.
@@ -128,6 +132,7 @@ std::size_t tighten_core_periods(const std::vector<rt::RtTask>& rt_on_core,
           std::max(task.period_des, std::min(tasks[i].period, floor));
       if (tightened < tasks[i].period - util::kTimeEpsilon) ++changed;
       tasks[i].period = std::min(tasks[i].period, tightened);
+      hp_sums.add_interferer(task.wcet, tasks[i].period);
     }
   }
   return changed;
@@ -155,11 +160,12 @@ void tighten_core_placements(const std::vector<rt::RtTask>& rt_on_core,
 PeriodAdaptation adapt_period_exact(const rt::SecurityTask& task,
                                     const std::vector<rt::RtTask>& rt_on_core,
                                     const std::vector<rt::PlacedSecurityTask>& hp_security,
-                                    util::Millis blocking) {
+                                    util::Millis blocking,
+                                    const rt::InterferenceBound* interferer_sums) {
   rt::validate(task);
   PeriodAdaptation out;
-  const auto response =
-      rt::security_response_time(task, task.period_max, rt_on_core, hp_security, blocking);
+  const auto response = rt::security_response_time(task, task.period_max, rt_on_core,
+                                                   hp_security, blocking, interferer_sums);
   if (!response.has_value()) return out;
   out.feasible = true;
   out.period = std::clamp(*response, task.period_des, task.period_max);

@@ -54,11 +54,15 @@ PeriodAdaptation adapt_period(const rt::SecurityTask& task, const rt::Interferen
 /// Eq. (7) with exact response-time analysis in place of the linear bound.
 /// The response time R of the lowest-priority-band task does not depend on
 /// its own period, so the optimum is simply clamp(R, Tdes, Tmax) — feasible
-/// iff R ≤ Tmax.
+/// iff R ≤ Tmax.  `interferer_sums`, when given, must equal
+/// interference_bound(rt_on_core, hp_security, blocking); allocators maintain
+/// it incrementally so the per-probe RTA preamble is O(1) (see
+/// rt::security_response_time).
 PeriodAdaptation adapt_period_exact(const rt::SecurityTask& task,
                                     const std::vector<rt::RtTask>& rt_on_core,
                                     const std::vector<rt::PlacedSecurityTask>& hp_security,
-                                    util::Millis blocking = 0.0);
+                                    util::Millis blocking = 0.0,
+                                    const rt::InterferenceBound* interferer_sums = nullptr);
 
 /// The smallest period satisfying Cs + A + B·Ts ≤ Ts, ignoring the
 /// [Tdes, Tmax] box: (Cs + A)/(1 − B).  nullopt when B ≥ 1 (interferers

@@ -1,0 +1,20 @@
+#include "core/scp_warm.h"
+
+#include <utility>
+
+namespace hydra::core {
+
+namespace {
+thread_local const ScpWarmStartHooks* g_current = nullptr;
+}  // namespace
+
+ScpWarmStartScope::ScpWarmStartScope(ScpWarmStartHooks hooks)
+    : hooks_(std::move(hooks)), previous_(g_current) {
+  g_current = &hooks_;
+}
+
+ScpWarmStartScope::~ScpWarmStartScope() { g_current = previous_; }
+
+const ScpWarmStartHooks* ScpWarmStartScope::current() { return g_current; }
+
+}  // namespace hydra::core

@@ -35,20 +35,23 @@ Allocation SingleCoreAllocator::allocate(const Instance& instance) const {
   // Sequential period adaptation on the dedicated core, priority order.
   // No RT interference there — only the higher-priority security tasks.
   std::vector<rt::PlacedSecurityTask> placed;
+  // Eq. (5) sums over the placed monitors, extended per commit in the same
+  // order a per-task rebuild would accumulate them (bitwise identical).
+  rt::InterferenceBound interferers = rt::interference_bound({}, {}, options_.blocking);
   const auto order = rt::security_priority_order(instance.security_tasks);
   for (const std::size_t s : order) {
     const rt::SecurityTask& task = instance.security_tasks[s];
-    const auto bound = rt::interference_bound({}, placed, options_.blocking);
     const PeriodAdaptation pa =
         options_.solver == PeriodSolver::kExactRta
-            ? adapt_period_exact(task, {}, placed, options_.blocking)
-            : adapt_period(task, bound, options_.solver);
+            ? adapt_period_exact(task, {}, placed, options_.blocking, &interferers)
+            : adapt_period(task, interferers, options_.solver);
     if (!pa.feasible) {
       return infeasible_allocation(
           s, "dedicated core admits no acceptable period for '" + task.name + "'");
     }
     result.placements[s] = TaskPlacement{security_core, pa.period, pa.tightness};
     placed.push_back(rt::PlacedSecurityTask{task.wcet, pa.period});
+    interferers.add_interferer(task.wcet, pa.period);
   }
   result.feasible = true;
 

@@ -1,0 +1,39 @@
+// Cell-neighbor SCP warm starts for exp::Sweep.
+//
+// Adjacent sweep cells (same platform, neighboring utilization points) solve
+// near-identical signomial period programs, so a cell's converged period
+// vector is an excellent extra start point for its grid neighbor.  The sweep
+// cannot simply hand one worker's live result to another, though: whether a
+// neighbor has finished depends on --jobs and the work-stealing order, and
+// the byte-identical-output guarantee forbids any such dependence.
+//
+// Instead, each cell's warm seed is a PURE FUNCTION of the sweep spec: the
+// canonical converged period vector of the neighboring cell, computed
+// standalone (materialize the neighbor's instance from its deterministic
+// seed, fix the cheap first-fit period-adapt assignment, solve the joint
+// signomial program cold).  A process-wide mutex-guarded memo keyed by the
+// full cell input identity — the instance's text round-trip, the same
+// pattern as the PR-4 adaptive-metrics memo — makes the lookup cheap after
+// the first use; because the value is a pure function of the key, racing
+// first writers cannot disagree, and the memo can only skip work, never
+// change a value.  Rows therefore stay byte-identical for any --jobs,
+// sharding, resume splice, or work-stealing order.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "exp/batch.h"
+
+namespace hydra::exp {
+
+/// The canonical converged period vector of one cell: materialize
+/// (spec, item), take the first-fit period-adapt assignment, and solve the
+/// joint kSignomialScp period program cold (shadowing any installed
+/// warm-start scope, so the memo never re-enters itself).  nullopt when the
+/// cell has no instance or the canonical assignment/solve is infeasible.
+/// Thread-safe; memoized process-wide.
+std::optional<std::vector<double>> sweep_warm_periods(const BatchSpec& spec,
+                                                      const BatchItem& item);
+
+}  // namespace hydra::exp

@@ -6,12 +6,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "core/registry.h"
+#include "core/scp_warm.h"
+#include "exp/scp_warm.h"
 
 namespace hydra::exp {
 
@@ -559,9 +563,50 @@ SweepSummary Sweep::run(const std::vector<ResultSink*>& sinks) const {
     }
   };
 
-  const auto evaluate_unit = [this](const SweepUnit& unit,
-                                    const SchemeSet& schemes) {
+  // Warm-start neighbor of one unit: the nearest preceding synthetic point
+  // with the same core count, read at the same instance index.  A pure
+  // function of the spec — preset/file points neither seed nor get seeded.
+  const auto warm_neighbor =
+      [this, &point_specs](
+          const SweepUnit& unit) -> std::optional<std::pair<const BatchSpec*, BatchItem>> {
+    if (!spec_.scp_warm_start) return std::nullopt;
+    const auto& point = spec_.points[unit.point];
+    if (point.instance.has_value() || !point.files.empty()) return std::nullopt;
+    for (std::size_t q = unit.point; q-- > 0;) {
+      const auto& other = spec_.points[q];
+      if (other.instance.has_value() || !other.files.empty()) continue;
+      if (other.synthetic.num_cores != point.synthetic.num_cores) continue;
+      BatchItem item;
+      item.index = unit.item.index;
+      item.seed = instance_seed(point_specs[q].base_seed, item.index);
+      item.label = "seed=" + std::to_string(item.seed);
+      return std::make_pair(&point_specs[q], std::move(item));
+    }
+    return std::nullopt;
+  };
+
+  const auto evaluate_unit = [this, &warm_neighbor](const SweepUnit& unit,
+                                                    const SchemeSet& schemes) {
     static const BatchSpec kEmptySpec;
+    // Install the warm-start scope for the whole unit.  The neighbor's
+    // canonical solve is paid lazily on the FIRST signomial solve of the
+    // unit (memoized process-wide after that), so cells whose schemes never
+    // reach the SCP path never pay for it.
+    std::optional<core::ScpWarmStartScope> scope;
+    if (const auto neighbor = warm_neighbor(unit)) {
+      auto cache = std::make_shared<std::optional<std::vector<std::vector<double>>>>();
+      core::ScpWarmStartHooks hooks;
+      hooks.source = [cache, neighbor](std::size_t) {
+        if (!cache->has_value()) {
+          cache->emplace();
+          if (auto warm = sweep_warm_periods(*neighbor->first, neighbor->second)) {
+            (*cache)->push_back(std::move(*warm));
+          }
+        }
+        return **cache;
+      };
+      scope.emplace(std::move(hooks));
+    }
     auto rows = evaluate_batch_item(unit.point_spec ? *unit.point_spec : kEmptySpec,
                                     unit.item, unit.preloaded, schemes,
                                     spec_.optimal_budget, spec_.metrics);

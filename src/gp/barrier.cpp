@@ -56,9 +56,7 @@ BarrierEval eval_barrier_full(const SmoothFn& f0, const std::vector<SmoothFn>& c
     for (std::size_t k = 0; k < n; ++k) grad[k] += inv * ei.grad[k];
     // ∇² of −log(−Fi) = (1/Fi²)·g gᵀ + (1/(−Fi))·H.
     hess.add_outer(ei.grad, inv * inv);
-    linalg::Matrix scaled = ei.hess;
-    scaled *= inv;
-    hess += scaled;
+    hess.add_scaled(ei.hess, inv);
   }
 
   out.value = value;
@@ -79,6 +77,11 @@ BarrierResult barrier_minimize(const SmoothFn& f0, const std::vector<SmoothFn>& 
   BarrierResult result;
   result.y = y0;
   double t = opts.t0;
+  // One scratch set for the whole solve: every Newton iteration reuses these
+  // buffers instead of allocating a fresh Matrix/Vector quartet per step.
+  linalg::SpdWorkspace spd_ws;
+  linalg::Vector neg_grad;
+  linalg::Vector cand;
   const double m = static_cast<double>(constraints.size());
   // With no constraints the inner tolerance IS the final accuracy (there is
   // no outer loop to tighten things); Newton is quadratic near the optimum,
@@ -92,9 +95,9 @@ BarrierResult barrier_minimize(const SmoothFn& f0, const std::vector<SmoothFn>& 
       const BarrierEval cur = eval_barrier_full(f0, constraints, t, result.y);
       HYDRA_ASSERT(cur.feasible, "iterate left the feasible region");
 
-      linalg::Vector neg_grad = cur.grad;
+      neg_grad = cur.grad;
       neg_grad *= -1.0;
-      const linalg::Vector step = linalg::solve_spd(cur.hess, neg_grad);
+      const linalg::Vector& step = linalg::solve_spd_into(cur.hess, neg_grad, spd_ws);
       // Newton decrement λ² = gradᵀ H⁻¹ grad = −gradᵀ·step.
       const double decrement = -dot(cur.grad, step);
       if (decrement * 0.5 <= newton_tol) break;
@@ -102,7 +105,7 @@ BarrierResult barrier_minimize(const SmoothFn& f0, const std::vector<SmoothFn>& 
       // Backtracking line search: stay strictly feasible + Armijo decrease.
       double step_len = 1.0;
       bool moved = false;
-      linalg::Vector cand(result.y.size());
+      cand.assign(result.y.size());
       for (int bt = 0; bt < opts.max_backtracks; ++bt) {
         for (std::size_t i = 0; i < cand.size(); ++i) {
           cand[i] = result.y[i] + step_len * step[i];

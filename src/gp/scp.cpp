@@ -28,33 +28,47 @@ Monomial condense(const Posynomial& f, const std::vector<double>& x_bar) {
 
 namespace {
 
-/// One condensation pass from `x0`; returns the refined point or nullopt if
-/// any inner GP fails.
+/// One condensation pass from `x0`; returns the best-seen iterate or nullopt
+/// if the very first inner GP fails.  A later inner-GP failure ends the
+/// refinement but keeps what was already found.
 std::optional<ScpResult> refine_from(const GpProblem& constraints, const Posynomial& objective,
                                      std::vector<double> x0, const ScpOptions& options) {
   const GpSolver solver(options.gp);
   ScpResult best;
   double prev = -1.0;
 
+  // The inner GP keeps the same variables and constraint set for every
+  // condensation round — only the condensed objective moves — so build the
+  // problem once and swap objectives instead of recloning it per round.
+  GpProblem gp;
+  for (VarId v = 0; v < constraints.num_variables(); ++v) {
+    gp.add_variable(constraints.variable_name(v));
+  }
+  for (std::size_t i = 0; i < constraints.constraints().size(); ++i) {
+    gp.add_constraint_leq1(constraints.constraints()[i], constraints.constraint_labels()[i]);
+  }
+
   for (int round = 0; round < options.max_rounds; ++round) {
     // GP: minimize the reciprocal of the monomial lower bound at x0.
-    GpProblem gp;
-    for (VarId v = 0; v < constraints.num_variables(); ++v) {
-      gp.add_variable(constraints.variable_name(v));
-    }
     gp.set_objective(Posynomial(condense(objective, x0).reciprocal()));
-    for (std::size_t i = 0; i < constraints.constraints().size(); ++i) {
-      gp.add_constraint_leq1(constraints.constraints()[i], constraints.constraint_labels()[i]);
-    }
 
     const SolveResult sr = solver.solve(gp, x0);
-    if (!sr.ok()) return std::nullopt;
+    if (!sr.ok()) {
+      if (best.feasible) break;  // keep the best iterate found before the failure
+      return std::nullopt;
+    }
 
     const double value = objective.eval(sr.x);
-    best.feasible = true;
-    best.x = sr.x;
-    best.objective = value;
+    // Condensation is monotone in exact arithmetic but not under loose inner
+    // tolerances, so the latest iterate may be worse than an earlier one:
+    // keep the best-seen objective/iterate, not the last.
+    if (!best.feasible || value > best.objective) {
+      best.feasible = true;
+      best.x = sr.x;
+      best.objective = value;
+    }
     best.rounds = round + 1;
+    if (options.on_round) options.on_round(round + 1, sr.x, value);
     if (prev > 0.0 && std::fabs(value - prev) <= options.rel_tol * std::fabs(prev)) break;
     prev = value;
     x0 = sr.x;
@@ -77,6 +91,32 @@ ScpResult maximize_posynomial_scp(const GpProblem& constraints, const Posynomial
     const auto refined = refine_from(constraints, objective, x0, options);
     if (refined.has_value() && refined->feasible &&
         (!best.feasible || refined->objective > best.objective)) {
+      best = *refined;
+    }
+  }
+  return best;
+}
+
+ScpResult maximize_posynomial_scp_warm(const GpProblem& constraints, const Posynomial& objective,
+                                       const std::vector<std::vector<double>>& start_points,
+                                       const std::vector<std::vector<double>>& warm_start_points,
+                                       const ScpOptions& options) {
+  ScpResult best = maximize_posynomial_scp(constraints, objective, start_points, options);
+
+  for (const auto& warm : warm_start_points) {
+    if (warm.size() != constraints.num_variables()) continue;
+    bool positive = true;
+    for (const double w : warm) {
+      if (!(w > 0.0) || !std::isfinite(w)) positive = false;
+    }
+    if (!positive) continue;
+
+    const auto refined = refine_from(constraints, objective, warm, options);
+    if (!refined.has_value() || !refined->feasible) continue;
+    // Ties (within rel_tol) go to the cold-start result so warm starts can
+    // only change the answer when they are materially better — see header.
+    if (!best.feasible ||
+        refined->objective > best.objective * (1.0 + options.rel_tol) + options.rel_tol) {
       best = *refined;
     }
   }

@@ -15,6 +15,7 @@
 // optima; tests validate against dense grid search on small instances.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "gp/problem.h"
@@ -26,6 +27,12 @@ struct ScpOptions {
   SolveOptions gp;          ///< options for each inner GP solve
   int max_rounds = 25;      ///< condensation iterations per start point
   double rel_tol = 1e-6;    ///< stop when objective improves less than this
+
+  /// Test/diagnostic hook: invoked after every condensation round with the
+  /// 1-based round number, the refined iterate, and its true (uncondensed)
+  /// objective value.  Rounds are not guaranteed monotone when the inner
+  /// solves run loose tolerances — the regression tests observe that here.
+  std::function<void(int round, const std::vector<double>& x, double objective)> on_round;
 };
 
 struct ScpResult {
@@ -42,9 +49,27 @@ Monomial condense(const Posynomial& f, const std::vector<double>& x_bar);
 /// Maximizes the posynomial `objective` subject to `constraints.is_feasible`,
 /// where `constraints` carries the posynomial <= 1 constraint set (its
 /// objective, if any, is ignored).  Each start point is refined by iterated
-/// condensation; the best feasible result wins.
+/// condensation; the best feasible result wins.  Within one start point the
+/// best-seen iterate across rounds is returned — condensation rounds are not
+/// guaranteed monotone under loose inner tolerances, so the latest iterate
+/// can be worse than an earlier one.
 ScpResult maximize_posynomial_scp(const GpProblem& constraints, const Posynomial& objective,
                                   const std::vector<std::vector<double>>& start_points,
                                   const ScpOptions& options = {});
+
+/// maximize_posynomial_scp with additional *warm* start points (for example a
+/// neighboring sweep cell's converged period vector).  Warm starts are added
+/// to the start-point set, never replacing the cold starts, and a
+/// warm-derived result is adopted only when it beats the cold-start best by
+/// more than `options.rel_tol` relatively: within-tolerance differences are
+/// ties that go to the cold result, so enabling warm starts cannot perturb
+/// the answer through last-ulp objective noise — output is byte-identical
+/// with warm starts on or off unless a warm start finds a materially better
+/// KKT point (or a feasible one where every cold start failed).  Warm points
+/// whose size does not match, or with non-positive entries, are skipped.
+ScpResult maximize_posynomial_scp_warm(const GpProblem& constraints, const Posynomial& objective,
+                                       const std::vector<std::vector<double>>& start_points,
+                                       const std::vector<std::vector<double>>& warm_start_points,
+                                       const ScpOptions& options = {});
 
 }  // namespace hydra::gp

@@ -5,14 +5,14 @@
 
 namespace hydra::linalg {
 
-std::optional<Matrix> cholesky(const Matrix& a) {
+bool cholesky_factorize(const Matrix& a, Matrix& l) {
   HYDRA_REQUIRE(a.rows() == a.cols(), "cholesky: matrix must be square");
   const std::size_t n = a.rows();
-  Matrix l(n, n);
+  l.assign(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
@@ -21,30 +21,42 @@ std::optional<Matrix> cholesky(const Matrix& a) {
       l(i, j) = acc / ljj;
     }
   }
+  return true;
+}
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  Matrix l;
+  if (!cholesky_factorize(a, l)) return std::nullopt;
   return l;
 }
 
-Vector cholesky_solve(const Matrix& l, const Vector& b) {
+void cholesky_solve_into(const Matrix& l, const Vector& b, Vector& y, Vector& x) {
   HYDRA_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(), "cholesky_solve: size mismatch");
   const std::size_t n = b.size();
   // Forward substitution: L y = b.
-  Vector y(n);
+  y.assign(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
     for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
     y[i] = acc / l(i, i);
   }
   // Back substitution: Lᵀ x = y.
-  Vector x(n);
+  x.assign(n);
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = y[ii];
     for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
     x[ii] = acc / l(ii, ii);
   }
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+  Vector y;
+  Vector x;
+  cholesky_solve_into(l, b, y, x);
   return x;
 }
 
-Vector solve_spd(const Matrix& a, const Vector& b) {
+const Vector& solve_spd_into(const Matrix& a, const Vector& b, SpdWorkspace& ws) {
   HYDRA_REQUIRE(a.rows() == a.cols() && a.rows() == b.size(), "solve_spd: size mismatch");
   const std::size_t n = a.rows();
   // Scale regularization to the matrix magnitude so it is meaningful for both
@@ -57,17 +69,22 @@ Vector solve_spd(const Matrix& a, const Vector& b) {
 
   double reg = 0.0;
   for (int attempt = 0; attempt < 40; ++attempt) {
-    Matrix work = a;
+    ws.work = a;
     if (reg > 0.0) {
-      for (std::size_t i = 0; i < n; ++i) work(i, i) += reg;
+      for (std::size_t i = 0; i < n; ++i) ws.work(i, i) += reg;
     }
-    if (auto l = cholesky(work)) {
-      Vector x = cholesky_solve(*l, b);
-      if (x.all_finite()) return x;
+    if (cholesky_factorize(ws.work, ws.l)) {
+      cholesky_solve_into(ws.l, b, ws.y, ws.x);
+      if (ws.x.all_finite()) return ws.x;
     }
     reg = (reg == 0.0) ? 1e-12 * max_abs : reg * 10.0;
   }
   throw std::runtime_error("solve_spd: matrix not factorizable even with regularization");
+}
+
+Vector solve_spd(const Matrix& a, const Vector& b) {
+  SpdWorkspace ws;
+  return solve_spd_into(a, b, ws);
 }
 
 }  // namespace hydra::linalg

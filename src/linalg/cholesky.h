@@ -26,4 +26,30 @@ Vector cholesky_solve(const Matrix& l, const Vector& b);
 /// regularization (indicates non-finite input).
 Vector solve_spd(const Matrix& a, const Vector& b);
 
+/// Caller-owned scratch for the workspace variants below.  A hot loop (one
+/// Newton solve per iteration, dozens of iterations per barrier stage) holds
+/// one of these and every solve reuses the same four buffers instead of
+/// allocating a fresh Matrix/Vector quartet per call.  The buffers are
+/// resized on demand, so one workspace serves systems of any (varying) size.
+struct SpdWorkspace {
+  Matrix work;  ///< regularized copy of A
+  Matrix l;     ///< Cholesky factor
+  Vector y;     ///< forward-substitution intermediate
+  Vector x;     ///< solution (referenced by solve_spd_into's return)
+};
+
+/// Workspace variant of `cholesky`: factorizes `a` into `l` (reshaped as
+/// needed; only the lower triangle is meaningful).  Returns false if `a` is
+/// not numerically positive definite.  Same arithmetic as `cholesky`.
+bool cholesky_factorize(const Matrix& a, Matrix& l);
+
+/// Workspace variant of `cholesky_solve`: solves L·Lᵀ x = b into `x` using
+/// `y` as forward-substitution scratch.  Same arithmetic as `cholesky_solve`.
+void cholesky_solve_into(const Matrix& l, const Vector& b, Vector& y, Vector& x);
+
+/// Workspace variant of `solve_spd`: identical arithmetic (same
+/// regularization ladder), but every intermediate lives in `ws` and the
+/// returned reference aliases `ws.x` — valid until the next call on `ws`.
+const Vector& solve_spd_into(const Matrix& a, const Vector& b, SpdWorkspace& ws);
+
 }  // namespace hydra::linalg

@@ -24,6 +24,15 @@ class Matrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
+  /// Reshapes to rows×cols with every entry set to `value`, reusing the
+  /// existing allocation when capacity allows — the reset path for
+  /// caller-owned scratch buffers.
+  void assign(std::size_t rows, std::size_t cols, double value = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, value);
+  }
+
   double& operator()(std::size_t r, std::size_t c) {
     HYDRA_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
     return data_[r * cols_ + c];
@@ -40,6 +49,13 @@ class Matrix {
   }
   Matrix& operator*=(double s) {
     for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  /// this += scale * rhs, without materializing the scaled copy.
+  Matrix& add_scaled(const Matrix& rhs, double scale) {
+    HYDRA_REQUIRE(rhs.rows_ == rows_ && rhs.cols_ == cols_, "matrix size mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * rhs.data_[i];
     return *this;
   }
 

@@ -24,6 +24,10 @@ class Vector {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Resizes to n entries all set to `value`, reusing the existing allocation
+  /// when capacity allows — the reset path for caller-owned scratch buffers.
+  void assign(std::size_t n, double value = 0.0) { data_.assign(n, value); }
+
   double& operator[](std::size_t i) {
     HYDRA_REQUIRE(i < data_.size(), "vector index out of range");
     return data_[i];

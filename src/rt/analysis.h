@@ -42,6 +42,21 @@ std::optional<util::Millis> response_time(const RtTask& task, const std::vector<
 bool core_schedulable_rm_with_blocking(const std::vector<RtTask>& tasks_on_core,
                                        util::Millis blocking);
 
+/// Incremental admission test for partitioning loops.  `resident_by_priority`
+/// must be RM-schedulable with `blocking` and sorted in RM priority order
+/// (ascending period, earlier-placed first among equal periods — the order an
+/// `upper_bound`-by-period insertion maintains).  Returns whether the core
+/// stays schedulable with `candidate` added.
+///
+/// Verdict-equivalent to core_schedulable_rm_with_blocking on the combined
+/// set: under preemptive fixed priorities a new task cannot disturb the tasks
+/// that outrank it, so only the candidate itself and the residents it
+/// preempts need fresh response times.  Interference sums are accumulated in
+/// the same priority order as the full test so marginal fixpoints agree
+/// bit-for-bit.
+bool core_admits_rm(const std::vector<RtTask>& resident_by_priority, const RtTask& candidate,
+                    util::Millis blocking = 0.0);
+
 /// True iff every task on one core meets its deadline under fixed-priority
 /// preemptive scheduling with rate-monotonic priorities.
 bool core_schedulable_rm(const std::vector<RtTask>& tasks_on_core);
@@ -59,8 +74,18 @@ bool hyperbolic_bound_holds(const std::vector<RtTask>& tasks);
 /// by exact RTA.  This is the exact counterpart of the paper's linear Eq. (5)
 /// bound: the bound is provably conservative w.r.t. this value (tested).
 /// `period` is the security task's candidate period (= its deadline).
+///
+/// `interferer_sums`, when given, must equal
+/// interference_bound(rt_on_core, hp_security_on_core, blocking); allocators
+/// that probe many candidate periods against one core pass their incrementally
+/// maintained bound so the Σ WCET / Σ utilization preamble — and the
+/// utilization-overload early exit — run in O(1) instead of O(interferers)
+/// per probe.  The converged response time is identical either way: the
+/// fixpoint iteration seeds at or below the least fixpoint and lands on the
+/// same ceil-stable sum regardless of the seed.
 std::optional<util::Millis> security_response_time(
     const SecurityTask& task, util::Millis period, const std::vector<RtTask>& rt_on_core,
-    const std::vector<PlacedSecurityTask>& hp_security_on_core, util::Millis blocking = 0.0);
+    const std::vector<PlacedSecurityTask>& hp_security_on_core, util::Millis blocking = 0.0,
+    const InterferenceBound* interferer_sums = nullptr);
 
 }  // namespace hydra::rt

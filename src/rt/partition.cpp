@@ -28,12 +28,22 @@ std::vector<double> Partition::core_utilizations(const std::vector<RtTask>& task
 
 namespace {
 
-/// Feasibility of adding `candidate` to a core currently holding `resident`:
-/// the whole core must remain RM-schedulable by exact RTA.
-bool fits(const std::vector<RtTask>& resident, const RtTask& candidate) {
-  std::vector<RtTask> trial = resident;
-  trial.push_back(candidate);
-  return core_schedulable_rm(trial);
+/// Feasibility of adding `candidate` to a core currently holding `resident`
+/// (kept in RM priority order): the whole core must remain RM-schedulable by
+/// exact RTA.  core_admits_rm re-analyzes only the candidate and the
+/// residents it preempts — placements are identical to rebuilding the trial
+/// set and running the full per-core test.
+bool fits(const std::vector<RtTask>& resident_by_priority, const RtTask& candidate) {
+  return core_admits_rm(resident_by_priority, candidate);
+}
+
+/// Inserts `task` after every resident with period <= its own, mirroring
+/// where rm_priority_order's stable sort places a last-appended task.
+void insert_by_priority(std::vector<RtTask>& resident_by_priority, const RtTask& task) {
+  auto it = std::upper_bound(
+      resident_by_priority.begin(), resident_by_priority.end(), task,
+      [](const RtTask& a, const RtTask& b) { return a.period < b.period; });
+  resident_by_priority.insert(it, task);
 }
 
 }  // namespace
@@ -108,7 +118,7 @@ std::optional<Partition> partition_rt_tasks(const std::vector<RtTask>& tasks,
     }
 
     if (!chosen.has_value()) return std::nullopt;
-    residents[*chosen].push_back(task);
+    insert_by_priority(residents[*chosen], task);
     load[*chosen] += task.utilization();
     partition.core_of[ti] = *chosen;
   }

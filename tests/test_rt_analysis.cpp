@@ -2,7 +2,11 @@
 // hand-worked textbook examples and property sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "rt/analysis.h"
 #include "rt/task.h"
@@ -54,6 +58,70 @@ TEST(NecessaryCondition, FailsWhenUtilizationExceedsCores) {
 
 TEST(NecessaryCondition, EmptySetTriviallyHolds) {
   EXPECT_TRUE(rt::dbf_necessary_condition({}, 1));
+}
+
+TEST(NecessaryCondition, ChecksTheDeadlinePointNearestTheHorizon) {
+  // Regression for the `t += period` checkpoint drift: 0.1 is not
+  // representable in binary, and 10^5 repeated additions overshoot the exact
+  // k-th deadline point D + k·T by ~1.9e-8 — enough to push task a's LAST
+  // checkpoint past a horizon that the multiplication form lands on exactly,
+  // silently skipping the one demand point that violates Eq. (1).
+  const double period = 0.1;
+  const std::uint64_t k = 99999;
+  const rt::RtTask a{"a", 0.09, period, period};
+  const double t_star = a.deadline + static_cast<double>(k) * a.period;
+
+  double t_acc = a.deadline;
+  for (std::uint64_t j = 0; j < k; ++j) t_acc += a.period;
+  ASSERT_GT(t_acc, t_star);  // the drift regime this test exists for
+
+  // Task b places the FIRST violation exactly at a's t* checkpoint: at b's
+  // own (exact, drift-free) deadline t* − 0.05 the demand is 0.02 under
+  // capacity, one more job of a at t* puts it 0.02 over — margins far wider
+  // than kTimeEpsilon and any accumulation noise.
+  const rt::RtTask b{"b", 0.1 * t_star + 0.02, 1e9, t_star - 0.05};
+  EXPECT_FALSE(rt::dbf_necessary_condition({a, b}, 1, t_star));
+  // A horizon short of t* never sees the violation: the verdict flips on
+  // exactly that last checkpoint.
+  EXPECT_TRUE(rt::dbf_necessary_condition({a, b}, 1, t_star - 0.01));
+}
+
+TEST(NecessaryCondition, MatchesBruteForceOnRandomTaskSets) {
+  // The event-sweep implementation must agree with the definitional check:
+  // Σ dbf(τ, t) ≤ M·t evaluated at every multiplication-form deadline point.
+  hydra::util::Xoshiro256 rng(424242);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<rt::RtTask> tasks;
+    const int n = 1 + static_cast<int>(rng.uniform(0.0, 4.0));
+    for (int i = 0; i < n; ++i) {
+      const double p = rng.uniform(0.05, 12.0);
+      const double d = rng.uniform(0.5, 1.0) * p;  // constrained deadlines too
+      const double c = rng.uniform(0.1, 0.9) * d;
+      tasks.push_back(rt::RtTask{"t" + std::to_string(i), c, p, d});
+    }
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform(0.0, 2.0));
+
+    double h = 0.0;
+    for (const auto& task : tasks) h = std::max(h, 2.0 * (task.deadline + task.period));
+    bool reference = true;
+    double total_util = 0.0;
+    for (const auto& task : tasks) total_util += task.utilization();
+    if (total_util > static_cast<double>(m) + 1e-6) reference = false;
+    for (const auto& task : tasks) {
+      if (!reference) break;
+      for (std::uint64_t j = 0;; ++j) {
+        const double t = task.deadline + static_cast<double>(j) * task.period;
+        if (t > h) break;
+        double demand = 0.0;
+        for (const auto& other : tasks) demand += rt::dbf(other, t);
+        if (demand > static_cast<double>(m) * t + 1e-6) {
+          reference = false;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(rt::dbf_necessary_condition(tasks, m), reference) << "rep " << rep;
+  }
 }
 
 TEST(ResponseTime, NoInterferenceEqualsWcet) {

@@ -8,99 +8,18 @@
 // Options:
 //   --markdown        emit a GitHub-flavored table (for $GITHUB_STEP_SUMMARY)
 //   --fail-over PCT   exit 4 if any benchmark's real_time regressed by more
-//                     than PCT percent (absent = report only, exit 0)
+//                     than PCT percent, or its items_per_second dropped by
+//                     more than PCT percent (absent = report only, exit 0)
 //
 // Exit codes: 0 compared (no enforced regression), 4 regression over the
 // --fail-over threshold, 1 unreadable inputs, 2 usage.
 //
-// The parser leans on the shape google-benchmark actually emits — a
-// pretty-printed "benchmarks" array with one field per line — rather than
-// carrying a full JSON parser for two numeric fields.
-#include <cmath>
-#include <fstream>
-#include <iomanip>
+// All comparison/gate semantics live in io/bench_diff.h (unit tested); this
+// file is argument plumbing only.
 #include <iostream>
-#include <map>
-#include <sstream>
-#include <string>
-#include <vector>
 
+#include "io/bench_diff.h"
 #include "util/cli.h"
-
-namespace {
-
-struct BenchRow {
-  double real_time = 0.0;          ///< nanoseconds unless time_unit says otherwise
-  std::string time_unit = "ns";
-  double items_per_second = -1.0;  ///< -1 = not reported
-};
-
-/// Value of `"key": <...>` on this line, or "" when the key is absent.
-std::string field_on_line(const std::string& line, const std::string& key) {
-  const std::string needle = "\"" + key + "\"";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return "";
-  std::size_t pos = line.find(':', at + needle.size());
-  if (pos == std::string::npos) return "";
-  ++pos;
-  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
-  std::size_t end = line.size();
-  while (end > pos && (line[end - 1] == ',' || line[end - 1] == ' ' ||
-                       line[end - 1] == '\r')) {
-    --end;
-  }
-  std::string value = line.substr(pos, end - pos);
-  if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
-    value = value.substr(1, value.size() - 2);
-  }
-  return value;
-}
-
-std::map<std::string, BenchRow> load_results(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read benchmark file: " + path);
-  std::map<std::string, BenchRow> rows;
-  std::string line, current;
-  bool in_benchmarks = false;
-  while (std::getline(in, line)) {
-    if (!in_benchmarks) {
-      if (line.find("\"benchmarks\"") != std::string::npos) in_benchmarks = true;
-      continue;
-    }
-    const std::string name = field_on_line(line, "name");
-    if (!name.empty()) {
-      current = name;
-      rows[current] = BenchRow{};
-      continue;
-    }
-    if (current.empty()) continue;
-    const std::string real_time = field_on_line(line, "real_time");
-    if (!real_time.empty()) rows[current].real_time = std::stod(real_time);
-    const std::string unit = field_on_line(line, "time_unit");
-    if (!unit.empty()) rows[current].time_unit = unit;
-    const std::string items = field_on_line(line, "items_per_second");
-    if (!items.empty()) rows[current].items_per_second = std::stod(items);
-  }
-  if (rows.empty()) {
-    throw std::runtime_error("no benchmarks found in " + path +
-                             " (expected google-benchmark JSON)");
-  }
-  return rows;
-}
-
-std::string format_time(double value, const std::string& unit) {
-  std::ostringstream out;
-  out << std::fixed << std::setprecision(value < 10 ? 3 : 1) << value << " " << unit;
-  return out.str();
-}
-
-std::string format_delta(double pct) {
-  std::ostringstream out;
-  out << std::showpos << std::fixed << std::setprecision(1) << pct << "%";
-  return out.str();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   try {
@@ -114,73 +33,19 @@ int main(int argc, char** argv) {
     const bool markdown = cli.get_bool("markdown", false);
     const double fail_over = cli.get_double("fail-over", -1.0);
 
-    const auto baseline = load_results(cli.positionals()[0]);
-    const auto current = load_results(cli.positionals()[1]);
+    const auto baseline = hydra::io::load_bench_results(cli.positionals()[0]);
+    const auto current = hydra::io::load_bench_results(cli.positionals()[1]);
+    const auto deltas = hydra::io::diff_bench_results(baseline, current);
 
-    if (markdown) {
-      std::cout << "| benchmark | baseline | current | real_time Δ | items/s Δ |\n"
-                << "|---|---|---|---|---|\n";
-    } else {
-      std::cout << std::left << std::setw(44) << "benchmark" << std::setw(16)
-                << "baseline" << std::setw(16) << "current" << std::setw(12)
-                << "time Δ" << "items/s Δ\n";
-    }
+    std::cout << (markdown ? hydra::io::render_bench_diff_markdown(deltas)
+                           : hydra::io::render_bench_diff_text(deltas));
 
-    std::vector<std::string> regressions;
-    for (const auto& [name, now] : current) {
-      const auto base_it = baseline.find(name);
-      if (base_it == baseline.end()) {
-        if (markdown) {
-          std::cout << "| " << name << " | _new_ | "
-                    << format_time(now.real_time, now.time_unit) << " | — | — |\n";
-        } else {
-          std::cout << std::left << std::setw(44) << name << std::setw(16) << "(new)"
-                    << format_time(now.real_time, now.time_unit) << "\n";
-        }
-        continue;
-      }
-      const BenchRow& base = base_it->second;
-      const double time_pct =
-          base.real_time > 0.0
-              ? (now.real_time - base.real_time) / base.real_time * 100.0
-              : 0.0;
-      std::string items_delta = "—";
-      if (base.items_per_second > 0.0 && now.items_per_second > 0.0) {
-        items_delta = format_delta((now.items_per_second - base.items_per_second) /
-                                   base.items_per_second * 100.0);
-      }
-      if (markdown) {
-        std::cout << "| " << name << " | "
-                  << format_time(base.real_time, base.time_unit) << " | "
-                  << format_time(now.real_time, now.time_unit) << " | "
-                  << format_delta(time_pct) << " | " << items_delta << " |\n";
-      } else {
-        std::cout << std::left << std::setw(44) << name << std::setw(16)
-                  << format_time(base.real_time, base.time_unit) << std::setw(16)
-                  << format_time(now.real_time, now.time_unit) << std::setw(12)
-                  << format_delta(time_pct) << items_delta << "\n";
-      }
-      if (fail_over >= 0.0 && time_pct > fail_over) {
-        regressions.push_back(name + " " + format_delta(time_pct));
-      }
-    }
-    for (const auto& [name, base] : baseline) {
-      if (current.find(name) != current.end()) continue;
-      if (markdown) {
-        std::cout << "| " << name << " | "
-                  << format_time(base.real_time, base.time_unit)
-                  << " | _missing_ | — | — |\n";
-      } else {
-        std::cout << std::left << std::setw(44) << name << std::setw(16)
-                  << format_time(base.real_time, base.time_unit) << "(missing)\n";
-      }
-    }
-
-    if (!regressions.empty()) {
-      std::cerr << "hydra_bench_diff: " << regressions.size()
+    const auto violations = hydra::io::bench_gate_violations(deltas, fail_over);
+    if (!violations.empty()) {
+      std::cerr << "hydra_bench_diff: " << violations.size()
                 << " benchmark(s) regressed more than " << fail_over << "%:\n";
-      for (const auto& regression : regressions) {
-        std::cerr << "  " << regression << "\n";
+      for (const auto& violation : violations) {
+        std::cerr << "  " << violation << "\n";
       }
       return 4;
     }
