@@ -30,6 +30,12 @@
 //                              [--shard 0/1] [--out sweep.jsonl]
 //                              [--resume sweep.jsonl]
 //                              [--agg-out cells.jsonl] [--csv]
+//                              [--gp-backend scp/barrier|ipm/filter|pick-best]
+//
+// --gp-backend selects the GP solver backend every cell's period optimization
+// runs through (docs/solver-catalog.md lists the registry).  It is a row-byte
+// input: the fingerprint covers it, so shards and resumes must name the same
+// backend, and the default ("" = scp/barrier) reproduces historical outputs.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,6 +44,7 @@
 #include "exp/aggregate.h"
 #include "exp/sweep.h"
 #include "gen/synthetic.h"
+#include "gp/solver_registry.h"
 #include "io/table.h"
 #include "stats/summary.h"
 #include "util/cli.h"
@@ -68,6 +75,14 @@ int main(int argc, char** argv) {
   spec.base_seed = seed;
   spec.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
   spec.resume_path = cli.get_string("resume", "");
+  spec.gp_backend = cli.get_string("gp-backend", "");
+  if (!spec.gp_backend.empty() &&
+      !hydra::gp::SolverRegistry::global().contains(spec.gp_backend)) {
+    std::cerr << "--gp-backend: unknown backend '" << spec.gp_backend
+              << "'; see docs/solver-catalog.md (or --solver-catalog-md on "
+                 "bench_table1_catalog)\n";
+    return 2;
+  }
   const auto shard = hexp::parse_shard_spec(cli.get_string("shard", "0/1"));
   spec.shard_index = shard.index;
   spec.shard_count = shard.count;

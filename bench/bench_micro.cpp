@@ -16,6 +16,7 @@
 #include "gen/randfixedsum.h"
 #include "gen/synthetic.h"
 #include "gen/uav.h"
+#include "gp/solver_registry.h"
 #include "rt/analysis.h"
 #include "rt/partition.h"
 #include "sim/attack.h"
@@ -144,6 +145,40 @@ static void BM_JointPeriodScp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JointPeriodScp)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+static void BM_GpSolveBackend(benchmark::State& state, const std::string& backend) {
+  // One plain-GP solve of the joint-period program (4 security tasks, one
+  // loaded core) through each registered SolverRegistry backend — the
+  // apples-to-apples backend cost comparison behind docs/solver-catalog.md.
+  // pick-best should track scp/barrier (its primary short-circuits on
+  // converged optimality); ipm/filter pays a different per-iteration cost.
+  hydra::util::Xoshiro256 rng(6);
+  core::Instance instance;
+  instance.num_cores = 1;
+  instance.rt_tasks = random_rt_tasks(3, 0.3, rng);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    const double t_des = rng.uniform(1000.0, 3000.0);
+    instance.security_tasks.push_back(rt::make_security_task(
+        "s" + std::to_string(i), rng.uniform(0.05, 0.15) * t_des, t_des, 10.0 * t_des));
+  }
+  rt::Partition partition;
+  partition.num_cores = 1;
+  partition.core_of.assign(instance.rt_tasks.size(), 0);
+  const std::vector<std::size_t> core_of(instance.security_tasks.size(), 0);
+  const hydra::gp::GpProblem problem =
+      core::make_joint_period_gp(instance, partition, core_of);
+  for (auto _ : state) {
+    const auto result = hydra::gp::solve_with_backend(problem, std::nullopt, backend);
+    if (!result.ok()) {
+      state.SkipWithError(("backend " + backend + " failed: " + result.message).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK_CAPTURE(BM_GpSolveBackend, scp_barrier, std::string("scp/barrier"));
+BENCHMARK_CAPTURE(BM_GpSolveBackend, ipm_filter, std::string("ipm/filter"));
+BENCHMARK_CAPTURE(BM_GpSolveBackend, pick_best, std::string("pick-best"));
 
 static void BM_OptimalExhaustive(benchmark::State& state) {
   // M = 2, NS = range: cost doubles per extra task (2^NS joint solves).

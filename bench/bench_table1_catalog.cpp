@@ -9,11 +9,15 @@
 //                             [--schemes hydra,single-core,optimal]
 //                             [--jobs 1] [--out rows.jsonl] [--csv]
 //                             [--catalog-md] [--catalog-out docs/scheme-catalog.md]
+//                             [--solver-catalog-md]
+//                             [--solver-catalog-out docs/solver-catalog.md]
 //
 // --catalog-md prints the full allocator registry (name + description) as the
 // markdown scheme catalog and exits; --catalog-out writes it to a file — the
 // committed docs/scheme-catalog.md is generated this way and kept in sync by
-// the test_scheme_catalog ctest suite.
+// the test_scheme_catalog ctest suite.  --solver-catalog-md/--solver-catalog-out
+// do the same for the GP solver registry (docs/solver-catalog.md,
+// test_solver_catalog).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,6 +26,7 @@
 #include "core/registry.h"
 #include "exp/aggregate.h"
 #include "exp/sweep.h"
+#include "gp/solver_registry.h"
 #include "gen/uav.h"
 #include "io/table.h"
 #include "sec/catalog.h"
@@ -50,6 +55,25 @@ int main(int argc, char** argv) {
   }
   if (cli.get_bool("catalog-md", false)) {
     std::cout << catalog;
+    return 0;
+  }
+  const std::string solver_catalog =
+      hydra::gp::solver_catalog_markdown(hydra::gp::SolverRegistry::global());
+  if (cli.has("solver-catalog-out")) {
+    const std::string path = cli.get_string("solver-catalog-out", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return 2;
+    }
+    out << solver_catalog;
+    std::cout << "wrote solver catalog ("
+              << hydra::gp::SolverRegistry::global().names().size() << " backends) to "
+              << path << "\n";
+    return 0;
+  }
+  if (cli.get_bool("solver-catalog-md", false)) {
+    std::cout << solver_catalog;
     return 0;
   }
   const auto cores = cli.get_int_list("cores", {2, 4, 8});

@@ -8,6 +8,7 @@
 #include "gp/problem.h"
 #include "gp/scp.h"
 #include "gp/solver.h"
+#include "gp/solver_registry.h"
 #include "rt/interference.h"
 #include "rt/priority.h"
 #include "util/contracts.h"
@@ -92,6 +93,16 @@ gp::GpProblem build_constraint_problem(const Instance& instance,
     problem.add_constraint_leq1(std::move(sched), "sched[" + sec[s].name + "]");
   }
   return problem;
+}
+
+/// The rigorous sum-surrogate objective Σ (ωs/Tdes_s)·Ts as a posynomial.
+gp::Posynomial sum_surrogate_objective(const Instance& instance, const gp::GpProblem& problem) {
+  gp::Posynomial obj = problem.posynomial();
+  for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {
+    const auto& t = instance.security_tasks[s];
+    obj += problem.monomial(t.weight / t.period_des).with(s, 1.0);
+  }
+  return obj;
 }
 
 /// The paper's literal objective Σ ωs·Tdes_s·Ts⁻¹ as a posynomial.
@@ -207,12 +218,8 @@ JointPeriodResult optimize_joint_periods(const Instance& instance,
   switch (options.objective) {
     case JointObjective::kSumSurrogate: {
       gp::GpProblem problem = constraints;
-      gp::Posynomial obj = problem.posynomial();
-      for (std::size_t s = 0; s < sec.size(); ++s) {
-        obj += problem.monomial(sec[s].weight / sec[s].period_des).with(s, 1.0);
-      }
-      problem.set_objective(std::move(obj));
-      const gp::SolveResult sr = gp::GpSolver().solve(problem, interior);
+      problem.set_objective(sum_surrogate_objective(instance, problem));
+      const gp::SolveResult sr = gp::solve_with_backend(problem, interior, options.gp_backend);
       if (sr.ok()) accept(sr.x);
       break;
     }
@@ -221,7 +228,7 @@ JointPeriodResult optimize_joint_periods(const Instance& instance,
       gp::Monomial product = problem.monomial(1.0);
       for (std::size_t s = 0; s < sec.size(); ++s) product.with(s, sec[s].weight);
       problem.set_objective(gp::Posynomial(product));
-      const gp::SolveResult sr = gp::GpSolver().solve(problem, interior);
+      const gp::SolveResult sr = gp::solve_with_backend(problem, interior, options.gp_backend);
       if (sr.ok()) accept(sr.x);
       break;
     }
@@ -233,12 +240,8 @@ JointPeriodResult optimize_joint_periods(const Instance& instance,
       // A SumSurrogate solution is a cheap, usually-excellent warm start.
       {
         gp::GpProblem problem = constraints;
-        gp::Posynomial obj = problem.posynomial();
-        for (std::size_t s = 0; s < sec.size(); ++s) {
-          obj += problem.monomial(sec[s].weight / sec[s].period_des).with(s, 1.0);
-        }
-        problem.set_objective(std::move(obj));
-        const gp::SolveResult sr = gp::GpSolver().solve(problem, interior);
+        problem.set_objective(sum_surrogate_objective(instance, problem));
+        const gp::SolveResult sr = gp::solve_with_backend(problem, interior, options.gp_backend);
         if (sr.ok()) starts.push_back(sr.x);
       }
       // Warm-start seam: extra start points from the innermost scope (for
@@ -250,10 +253,13 @@ JointPeriodResult optimize_joint_periods(const Instance& instance,
       const ScpWarmStartHooks* hooks = ScpWarmStartScope::current();
       if (hooks != nullptr && hooks->source) warm = hooks->source(sec.size());
       const gp::Posynomial objective = tightness_posynomial(instance, constraints);
+      gp::ScpOptions scp_options;
+      scp_options.backend = options.gp_backend;
       const gp::ScpResult scp =
           warm.empty()
-              ? gp::maximize_posynomial_scp(constraints, objective, starts)
-              : gp::maximize_posynomial_scp_warm(constraints, objective, starts, warm);
+              ? gp::maximize_posynomial_scp(constraints, objective, starts, scp_options)
+              : gp::maximize_posynomial_scp_warm(constraints, objective, starts, warm,
+                                                 scp_options);
       if (scp.feasible) {
         if (hooks != nullptr && hooks->sink) hooks->sink(scp.x);
         accept(scp.x);
@@ -262,6 +268,23 @@ JointPeriodResult optimize_joint_periods(const Instance& instance,
     }
   }
   return result;
+}
+
+gp::GpProblem make_joint_period_gp(const Instance& instance, const rt::Partition& rt_partition,
+                                   const std::vector<std::size_t>& core_of,
+                                   const JointPeriodOptions& options) {
+  instance.validate();
+  HYDRA_REQUIRE(core_of.size() == instance.security_tasks.size(),
+                "assignment must cover every security task");
+  for (const std::size_t c : core_of) {
+    HYDRA_REQUIRE(c < instance.num_cores, "assignment names a core that does not exist");
+  }
+  HYDRA_REQUIRE(!instance.security_tasks.empty(),
+                "joint-period GP needs at least one security task");
+  const auto shapes = build_shapes(instance, rt_partition, core_of, options.blocking);
+  gp::GpProblem problem = build_constraint_problem(instance, shapes);
+  problem.set_objective(sum_surrogate_objective(instance, problem));
+  return problem;
 }
 
 }  // namespace hydra::core

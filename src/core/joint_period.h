@@ -26,9 +26,11 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/instance.h"
+#include "gp/problem.h"
 #include "rt/partition.h"
 
 namespace hydra::core {
@@ -42,6 +44,10 @@ enum class JointObjective {
 struct JointPeriodOptions {
   JointObjective objective = JointObjective::kSignomialScp;
   util::Millis blocking = 0.0;
+  /// GP solver backend (gp::SolverRegistry name) for every solve this
+  /// optimization runs — the direct GP objectives and the SCP inner loops.
+  /// "" resolves through the innermost gp::GpBackendScope, then the default.
+  std::string gp_backend;
 };
 
 struct JointPeriodResult {
@@ -59,5 +65,15 @@ JointPeriodResult optimize_joint_periods(const Instance& instance,
                                          const rt::Partition& rt_partition,
                                          const std::vector<std::size_t>& core_of,
                                          const JointPeriodOptions& options = {});
+
+/// The joint-period GP for the fixed assignment as a standalone problem:
+/// period bounds + per-task schedulability posynomials, with the rigorous
+/// sum-surrogate objective Σ (ωs/Tdes_s)·Ts.  This is exactly the inner
+/// convex program optimize_joint_periods builds; exposed so the differential
+/// solver tests can cross-check every registered backend on the real GP
+/// instances the corpus workloads induce.
+gp::GpProblem make_joint_period_gp(const Instance& instance, const rt::Partition& rt_partition,
+                                   const std::vector<std::size_t>& core_of,
+                                   const JointPeriodOptions& options = {});
 
 }  // namespace hydra::core

@@ -5,6 +5,7 @@
 
 #include "gp/problem.h"
 #include "gp/solver.h"
+#include "gp/solver_registry.h"
 #include "rt/analysis.h"
 #include "util/contracts.h"
 
@@ -49,8 +50,10 @@ PeriodAdaptation solve_gp(const rt::SecurityTask& task, const rt::InterferenceBo
   // boundary and would trigger the solver's phase-I program needlessly).
   const double start =
       std::max(task.period_des * (1.0 + 1e-9), task.period_max * (1.0 - 1e-6));
-  const gp::GpSolver solver;
-  const gp::SolveResult sr = solver.solve(problem, std::vector<double>{start});
+  // No options plumbing reaches this one-variable solve (contego and the
+  // tightening passes call adapt_period directly), so backend selection
+  // arrives ambiently through the innermost GpBackendScope.
+  const gp::SolveResult sr = gp::solve_with_backend(problem, std::vector<double>{start});
   if (!sr.ok()) return out;
 
   out.feasible = true;

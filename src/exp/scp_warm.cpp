@@ -9,6 +9,7 @@
 #include "core/joint_period.h"
 #include "core/period_adapt.h"
 #include "core/scp_warm.h"
+#include "gp/solver_registry.h"
 #include "io/taskset_io.h"
 
 namespace hydra::exp {
@@ -20,6 +21,12 @@ std::optional<std::vector<double>> compute_warm_periods(const core::Instance& in
   // VALUE, so it must run cold — consulting the sweep's own source here
   // would recurse into this memo.
   core::ScpWarmStartScope cold{core::ScpWarmStartHooks{}};
+  // Likewise pin the DEFAULT GP backend, shadowing the sweep's
+  // GpBackendScope: the memo is keyed by instance bytes alone, so its value
+  // must not depend on which backend the enclosing spec happens to run —
+  // warm seeds only ever ADD start points, so a default-backend seed is
+  // valid under any spec backend.
+  const gp::GpBackendScope default_backend{std::string{}};
 
   try {
     const core::PeriodAdaptAllocator first_fit;

@@ -16,6 +16,7 @@
 #include "core/registry.h"
 #include "core/scp_warm.h"
 #include "exp/scp_warm.h"
+#include "gp/solver_registry.h"
 
 namespace hydra::exp {
 
@@ -128,6 +129,12 @@ std::string sweep_fingerprint(const SweepSpec& spec) {
   put("reps=" + std::to_string(spec.replications));
   put("attempts=" + std::to_string(spec.max_attempts));
   put("budget=" + std::to_string(spec.optimal_budget));
+  // The resolved backend name, so "" and an explicit "scp/barrier" agree —
+  // they run the same arithmetic — while any other backend disagrees loudly.
+  // Resolved against the registry DEFAULT, never the thread-local scope: the
+  // fingerprint must stay a pure function of the spec.
+  put("gp-backend=" +
+      (spec.gp_backend.empty() ? std::string(gp::kDefaultGpBackend) : spec.gp_backend));
   // Name AND identity: two metric families sharing names but baked with
   // different parameters (trials, horizons, thresholds) yield different row
   // bytes, and only the identity string reveals that.
@@ -371,6 +378,10 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
     throw std::invalid_argument("sweep needs at least one scheme");
   }
   core::AllocatorRegistry::global().make_all(spec_.schemes);  // typo check
+  if (!spec_.gp_backend.empty() &&
+      !gp::SolverRegistry::global().contains(spec_.gp_backend)) {
+    gp::SolverRegistry::global().make(spec_.gp_backend);  // throws, listing names
+  }
   if (spec_.points.empty()) {
     throw std::invalid_argument("sweep needs at least one point");
   }
@@ -588,6 +599,10 @@ SweepSummary Sweep::run(const std::vector<ResultSink*>& sinks) const {
   const auto evaluate_unit = [this, &warm_neighbor](const SweepUnit& unit,
                                                     const SchemeSet& schemes) {
     static const BatchSpec kEmptySpec;
+    // Pin every GP solve of this unit to the spec's backend ("" pins the
+    // registry default).  Installed unconditionally so a stray outer scope
+    // on a worker thread can never leak into row bytes.
+    const gp::GpBackendScope backend_scope(spec_.gp_backend);
     // Install the warm-start scope for the whole unit.  The neighbor's
     // canonical solve is paid lazily on the FIRST signomial solve of the
     // unit (memoized process-wide after that), so cells whose schemes never

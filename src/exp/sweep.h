@@ -82,6 +82,13 @@ struct SweepSpec {
   /// sweep_fingerprint for exactly that reason: like jobs/resume/sharding
   /// it is solver plumbing, not a row-byte input.
   bool scp_warm_start = true;
+  /// GP solver backend (gp::SolverRegistry name) every cell's GP solves run
+  /// through, installed as a gp::GpBackendScope around each unit.  "" means
+  /// the registry default (scp/barrier).  Unlike jobs/resume/sharding this IS
+  /// a row-byte input — two runs solving with different backends can land on
+  /// different KKT points — so the RESOLVED name is stamped into
+  /// sweep_fingerprint and differently-solved checkpoints refuse to merge.
+  std::string gp_backend;
 
   /// Appends a synthetic grid point per utilization value — the Fig. 2/3
   /// "sweep total utilization on platform `config`" idiom in one call.

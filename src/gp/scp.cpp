@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gp/solver_registry.h"
 #include "util/contracts.h"
 
 namespace hydra::gp {
@@ -33,7 +34,10 @@ namespace {
 /// refinement but keeps what was already found.
 std::optional<ScpResult> refine_from(const GpProblem& constraints, const Posynomial& objective,
                                      std::vector<double> x0, const ScpOptions& options) {
-  const GpSolver solver(options.gp);
+  // Resolve the backend once and hold it across rounds (the hot path runs
+  // dozens of inner solves per refinement).
+  const auto solver =
+      SolverRegistry::global().make(resolve_gp_backend(options.backend), options.gp);
   ScpResult best;
   double prev = -1.0;
 
@@ -52,7 +56,7 @@ std::optional<ScpResult> refine_from(const GpProblem& constraints, const Posynom
     // GP: minimize the reciprocal of the monomial lower bound at x0.
     gp.set_objective(Posynomial(condense(objective, x0).reciprocal()));
 
-    const SolveResult sr = solver.solve(gp, x0);
+    const SolveResult sr = solver->solve(gp, x0);
     if (!sr.ok()) {
       if (best.feasible) break;  // keep the best iterate found before the failure
       return std::nullopt;

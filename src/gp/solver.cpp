@@ -1,13 +1,23 @@
 #include "gp/solver.h"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <string>
 
 #include "util/contracts.h"
 
 namespace hydra::gp {
 
 namespace {
+
+/// %g-formatted double for diagnostics (std::to_string renders 1e-9 as
+/// "0.000000", which reads as an impossible margin).
+std::string format_diag(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", v);
+  return buffer;
+}
 
 /// Wraps a posynomial's log-space image as a SmoothFn.
 SmoothFn make_log_fn(const Posynomial& p) {
@@ -143,17 +153,29 @@ SolveResult GpSolver::solve(const GpProblem& problem,
   }
 
   // Establish strict feasibility, via phase I when the hint is not feasible.
+  // Wrapped like phase II below: a numerical failure inside the phase-I
+  // barrier (near-singular Hessians on degenerate boxes) must surface as a
+  // diagnosed kError, not an exception thrown past the caller.
   int phase1_steps = 0;
   if (!problem.constraints().empty() && max_constraint_log(problem, y0) >= 0.0) {
-    const Phase1Outcome p1 = run_phase1(problem, y0, options_);
-    phase1_steps = p1.newton_steps;
-    if (!p1.feasible) {
-      result.status = SolveStatus::kInfeasible;
+    try {
+      const Phase1Outcome p1 = run_phase1(problem, y0, options_);
+      phase1_steps = p1.newton_steps;
+      if (!p1.feasible) {
+        result.status = SolveStatus::kInfeasible;
+        result.newton_steps = phase1_steps;
+        result.message = "phase I: no strictly feasible point within margin " +
+                         format_diag(options_.phase1_margin);
+        return result;
+      }
+      y0 = p1.y;
+    } catch (const std::exception& e) {
+      result.status = SolveStatus::kError;
       result.newton_steps = phase1_steps;
-      result.message = "phase I: no strictly feasible point";
+      result.message = std::string("phase I failed: ") +
+                       (e.what()[0] != '\0' ? e.what() : "unnamed exception");
       return result;
     }
-    y0 = p1.y;
   }
 
   try {
@@ -171,6 +193,7 @@ SolveResult GpSolver::solve(const GpProblem& problem,
         // KKT gap independently).
         result.status = SolveStatus::kOptimal;
         if (br.status == BarrierStatus::kMaxIterations) {
+          result.converged = false;
           result.message = "iteration budget reached; returning best feasible iterate";
         }
         return result;
@@ -182,11 +205,13 @@ SolveResult GpSolver::solve(const GpProblem& problem,
     }
   } catch (const std::exception& e) {
     result.status = SolveStatus::kError;
-    result.message = e.what();
+    // Every non-optimal exit must carry a diagnostic (tested); a rethrown
+    // exception with an empty what() would otherwise leave the caller blind.
+    result.message = e.what()[0] != '\0' ? e.what() : "barrier solve failed (unnamed exception)";
     return result;
   }
   result.status = SolveStatus::kError;
-  result.message = "unreachable";
+  result.message = "barrier returned an unknown status";
   return result;
 }
 

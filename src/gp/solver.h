@@ -9,6 +9,7 @@
 //   3. minimizes with the primal barrier interior-point method.
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,7 +31,22 @@ struct SolveResult {
   std::vector<double> x;      ///< optimal point in the original domain
   double objective = 0.0;     ///< posynomial objective value at x
   int newton_steps = 0;       ///< total Newton iterations (phases I+II)
-  std::string message;        ///< human-readable diagnostic on failure
+  std::string message;        ///< human-readable diagnostic; ALWAYS non-empty
+                              ///< on any non-kOptimal status (tested)
+  /// False when the solver hit its iteration budget and returned its best
+  /// feasible iterate as kOptimal anyway (the point is usable, but KKT
+  /// conditions were not certified).  The pick-best meta-backend treats a
+  /// non-converged kOptimal as grounds to consult its fallback.
+  bool converged = true;
+  /// Final scaled KKT error (max of stationarity, primal feasibility and
+  /// complementarity residuals).  Filled by the primal-dual IPM backend;
+  /// NaN from solvers that do not certify a dual point (the primal barrier).
+  double kkt_residual = std::numeric_limits<double>::quiet_NaN();
+  /// Name of the registry backend that produced this result ("" when the
+  /// solver was invoked directly rather than through gp::SolverRegistry).
+  /// pick-best stamps the backend whose answer it adopted, which is how the
+  /// differential tests observe a rescue.
+  std::string backend;
 
   bool ok() const { return status == SolveStatus::kOptimal; }
 };

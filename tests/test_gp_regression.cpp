@@ -1,0 +1,117 @@
+// Regression pins for the signomial-SCP stack on the two adversarial corpus
+// workloads built for it (gp_tinybox: nearly degenerate period box;
+// gp_hugespan: four-orders-of-magnitude span).  These freeze observable
+// behaviour — feasibility verdict, cumulative tightness to tolerance, the
+// best-iterate rule — so solver-registry refactors cannot silently shift the
+// production SCP route.  Golden values were captured from the pre-registry
+// solver stack; a legitimate solver change that moves them must update the
+// constants knowingly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/joint_period.h"
+#include "core/period_adapt.h"
+#include "gp/scp.h"
+#include "io/taskset_io.h"
+
+namespace core = hydra::core;
+namespace gp = hydra::gp;
+
+namespace {
+
+const std::string kCorpusDir = std::string(HYDRA_SOURCE_DIR) + "/tests/corpus";
+
+struct ScpRun {
+  core::Instance instance;
+  core::JointPeriodResult result;
+};
+
+/// First-fit allocation + SCP joint-period optimization, the production route
+/// the sweep's optimal/period-adapt schemes take.
+ScpRun run_scp(const std::string& workload) {
+  ScpRun run;
+  run.instance = hydra::io::load_instance(kCorpusDir + "/" + workload);
+  const core::PeriodAdaptAllocator first_fit;
+  const core::Allocation alloc = first_fit.allocate(run.instance);
+  EXPECT_TRUE(alloc.feasible) << workload << ": first-fit allocation regressed";
+  if (!alloc.feasible) return run;
+  std::vector<std::size_t> core_of(alloc.placements.size());
+  for (std::size_t s = 0; s < core_of.size(); ++s) core_of[s] = alloc.placements[s].core;
+  core::JointPeriodOptions options;
+  options.objective = core::JointObjective::kSignomialScp;
+  run.result = core::optimize_joint_periods(run.instance, alloc.rt_partition, core_of, options);
+  return run;
+}
+
+void expect_periods_in_box(const ScpRun& run) {
+  ASSERT_EQ(run.result.periods.size(), run.instance.security_tasks.size());
+  for (std::size_t s = 0; s < run.result.periods.size(); ++s) {
+    const auto& task = run.instance.security_tasks[s];
+    EXPECT_GE(run.result.periods[s], task.period_des * (1.0 - 1e-9));
+    EXPECT_LE(run.result.periods[s], task.period_max * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+
+TEST(GpRegression, TinyboxScpStaysFeasibleAndPinned) {
+  const ScpRun run = run_scp("gp_tinybox_2core_g.txt");
+  ASSERT_TRUE(run.result.feasible);
+  expect_periods_in_box(run);
+  // The 4 ms box pins every period to essentially Tdes: tightness ≈ ω count.
+  EXPECT_NEAR(run.result.cumulative_tightness, 2.0, 1e-6);
+  // Both tasks sit at the tight end of their boxes.
+  EXPECT_NEAR(run.result.periods[0], 400.0, 1e-3);
+  EXPECT_NEAR(run.result.periods[1], 900.0, 1e-3);
+}
+
+TEST(GpRegression, HugespanScpStaysFeasibleAndPinned) {
+  const ScpRun run = run_scp("gp_hugespan_2core_h.txt");
+  ASSERT_TRUE(run.result.feasible);
+  expect_periods_in_box(run);
+  // Optimum deep inside the four-decade box, far from both bounds: the SCP
+  // fixed point lands at Ts = 1150/3 ms ⇒ η = 3/23.
+  EXPECT_NEAR(run.result.cumulative_tightness, 0.130434782609, 1e-6);
+  EXPECT_NEAR(run.result.periods[0], 1150.0 / 3.0, 1e-3);
+}
+
+TEST(GpRegression, BestIterateRuleReturnsBestObservedRound) {
+  // max 3/x + 1/y  s.t.  1/x + 1/y <= 0.8,  x,y ∈ [1.5, 30] — the coupled
+  // instance from test_gp_scp, here instrumented through on_round: the result
+  // must equal the best objective seen across all condensation rounds of all
+  // starts (rounds are not guaranteed monotone, so "last iterate" would be
+  // the wrong rule — that is exactly the regression this test pins).
+  gp::GpProblem cons;
+  const auto x = cons.add_variable("x");
+  const auto y = cons.add_variable("y");
+  cons.add_bounds(x, 1.5, 30.0);
+  cons.add_bounds(y, 1.5, 30.0);
+  gp::Posynomial budget = cons.posynomial();
+  budget += cons.monomial(1.25).with(x, -1.0);
+  budget += cons.monomial(1.25).with(y, -1.0);
+  cons.add_constraint_leq1(budget);
+
+  gp::Posynomial obj = cons.posynomial();
+  obj += cons.monomial(3.0).with(x, -1.0);
+  obj += cons.monomial(1.0).with(y, -1.0);
+
+  gp::ScpOptions options;
+  double best_seen = 0.0;
+  int rounds_seen = 0;
+  options.on_round = [&](int, const std::vector<double>&, double objective) {
+    best_seen = std::max(best_seen, objective);
+    ++rounds_seen;
+  };
+  const gp::ScpResult r =
+      gp::maximize_posynomial_scp(cons, obj, {{2.0, 2.0}, {20.0, 20.0}}, options);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_GT(rounds_seen, 0);
+  // Best-iterate rule: never worse than any observed round, and not better
+  // than anything that was actually observed.
+  EXPECT_GE(r.objective, best_seen - 1e-12);
+  EXPECT_LE(r.objective, best_seen + 1e-12);
+  EXPECT_TRUE(cons.is_feasible(r.x, 1e-7));
+}

@@ -272,6 +272,95 @@ TEST(GpProblem, IsFeasibleChecksAllConstraints) {
   EXPECT_FALSE(p.is_feasible({-1.0}));
 }
 
+TEST(GpSolver, UnboundedWithConstraintCarriesDiagnostic) {
+  // min 1/x with x >= 1: infimum 0 at x → ∞, log-space unbounded below.  The
+  // lone constraint is satisfied along the whole escape ray, so this is the
+  // deterministic unbounded verdict (unlike the unconstrained variant above,
+  // which may legitimately stop at a tiny objective).
+  gp::GpProblem p;
+  const auto x = p.add_variable("x");
+  p.add_constraint_leq1(gp::Posynomial(p.monomial(1.0).with(x, -1.0)));  // x >= 1
+  p.set_objective(gp::Posynomial(p.monomial(1.0).with(x, -1.0)));
+  const auto r = solve(p);
+  EXPECT_EQ(r.status, gp::SolveStatus::kUnbounded);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(GpSolver, Phase1MarginDecidesBothSidesOfTheBoundary) {
+  // The box [2.0, 2.2] has interior width log(1.1) ≈ 0.095 in log space, so
+  // phase I can push the violation slack to roughly −0.048.  The margin is the
+  // dial that decides the verdict: the default (1e-9) certifies feasibility,
+  // while a margin beyond the reachable slack must flip the SAME program to
+  // kInfeasible — with the margin spelled out in the diagnostic.
+  const auto make_box = [] {
+    gp::GpProblem p;
+    const auto x = p.add_variable("x");
+    p.add_bounds(x, 2.0, 2.2);
+    p.set_objective(gp::Posynomial(p.monomial(1.0).with(x, 1.0)));
+    return p;
+  };
+
+  const auto feasible = gp::GpSolver().solve(make_box());
+  ASSERT_TRUE(feasible.ok()) << feasible.message;
+  EXPECT_NEAR(feasible.x[0], 2.0, 1e-4);
+
+  gp::SolveOptions strict;
+  strict.phase1_margin = 1.0;  // unreachable: no point sits e^1 deep inside
+  const auto rejected = gp::GpSolver(strict).solve(make_box());
+  EXPECT_EQ(rejected.status, gp::SolveStatus::kInfeasible);
+  EXPECT_NE(rejected.message.find("margin"), std::string::npos) << rejected.message;
+}
+
+TEST(GpSolver, DegenerateTinyboxReportsInfeasibleWithDiagnostic) {
+  // Width 2e-10 around 2.0: the deepest interior point clears the constraints
+  // by less than the default phase-I margin, so the primal barrier gives up
+  // with a diagnosed kInfeasible.  (The primal-dual IPM backend solves this
+  // instance — that rescue lives in test_gp_differential.)
+  gp::GpProblem p;
+  const auto x = p.add_variable("x");
+  p.add_bounds(x, 2.0, 2.0 + 2e-10);
+  p.set_objective(gp::Posynomial(p.monomial(1.0).with(x, 1.0)));
+  const auto r = solve(p);
+  EXPECT_EQ(r.status, gp::SolveStatus::kInfeasible);
+  EXPECT_NE(r.message.find("phase I"), std::string::npos) << r.message;
+}
+
+TEST(GpSolver, EveryNonOptimalExitCarriesAMessage) {
+  // The SolveResult contract: message is ALWAYS non-empty off the happy path.
+  // Drive the two deterministic failure verdicts and assert it.
+  {
+    gp::GpProblem p;  // infeasible: x >= 5 and x <= 2
+    const auto x = p.add_variable("x");
+    p.set_objective(gp::Posynomial(p.monomial(1.0).with(x, 1.0)));
+    p.add_constraint_leq1(gp::Posynomial(p.monomial(5.0).with(x, -1.0)));
+    p.add_constraint_leq1(gp::Posynomial(p.monomial(0.5).with(x, 1.0)));
+    const auto r = solve(p);
+    ASSERT_EQ(r.status, gp::SolveStatus::kInfeasible);
+    EXPECT_FALSE(r.message.empty());
+  }
+  {
+    gp::GpProblem p;  // unbounded: min 1/x, x >= 1
+    const auto x = p.add_variable("x");
+    p.add_constraint_leq1(gp::Posynomial(p.monomial(1.0).with(x, -1.0)));
+    p.set_objective(gp::Posynomial(p.monomial(1.0).with(x, -1.0)));
+    const auto r = solve(p);
+    ASSERT_EQ(r.status, gp::SolveStatus::kUnbounded);
+    EXPECT_FALSE(r.message.empty());
+  }
+}
+
+TEST(GpSolver, RejectsBadInitialGuesses) {
+  gp::GpProblem p;
+  const auto x = p.add_variable("x");
+  p.set_objective(gp::Posynomial(p.monomial(1.0).with(x, 1.0)));
+  p.add_bounds(x, 1.0, 2.0);
+  // Wrong dimension.
+  EXPECT_THROW(solve(p, std::vector<double>{1.0, 1.0}), std::invalid_argument);
+  // Non-positive entries are outside the GP domain.
+  EXPECT_THROW(solve(p, std::vector<double>{0.0}), std::invalid_argument);
+  EXPECT_THROW(solve(p, std::vector<double>{-3.0}), std::invalid_argument);
+}
+
 TEST(GpProblem, VariablesMustPrecedeConstraints) {
   gp::GpProblem p;
   const auto x = p.add_variable("x");

@@ -1,0 +1,79 @@
+// Keeps docs/solver-catalog.md in sync with gp::SolverRegistry::global().
+//
+// The committed catalog is generated (bench_table1_catalog
+// --solver-catalog-out); this suite fails whenever the registry gains, loses,
+// or re-describes a backend without the doc being regenerated.  After an
+// intentional registry change:
+//
+//     HYDRA_UPDATE_CATALOG=1 ./build/test_solver_catalog
+//
+// rewrites the file in place (review the diff like any other code change).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "gp/solver_registry.h"
+
+namespace {
+
+const std::string kCatalogPath =
+    std::string(HYDRA_SOURCE_DIR) + "/docs/solver-catalog.md";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+TEST(SolverCatalog, RegistryShipsTheDocumentedBackends) {
+  const auto& registry = hydra::gp::SolverRegistry::global();
+  EXPECT_TRUE(registry.contains("scp/barrier"));
+  EXPECT_TRUE(registry.contains("ipm/filter"));
+  EXPECT_TRUE(registry.contains("pick-best"));
+  EXPECT_TRUE(registry.contains(hydra::gp::kDefaultGpBackend));
+  EXPECT_FALSE(registry.contains("no-such-backend"));
+  EXPECT_THROW(registry.make("no-such-backend"), std::invalid_argument);
+}
+
+TEST(SolverCatalog, EveryBackendStampsItsRegisteredName) {
+  const auto& registry = hydra::gp::SolverRegistry::global();
+  for (const auto& name : registry.names()) {
+    EXPECT_EQ(registry.make(name)->name(), name);
+  }
+}
+
+TEST(SolverCatalog, MarkdownContainsEveryRegisteredBackend) {
+  const auto& registry = hydra::gp::SolverRegistry::global();
+  const std::string markdown = hydra::gp::solver_catalog_markdown(registry);
+  for (const auto& name : registry.names()) {
+    EXPECT_NE(markdown.find("| `" + name + "` |"), std::string::npos) << name;
+    EXPECT_NE(markdown.find(registry.description(name)), std::string::npos) << name;
+  }
+  EXPECT_NE(markdown.find("# GP solver catalog"), std::string::npos);
+}
+
+TEST(SolverCatalog, CommittedDocMatchesTheLiveRegistry) {
+  const std::string expected =
+      hydra::gp::solver_catalog_markdown(hydra::gp::SolverRegistry::global());
+
+  if (std::getenv("HYDRA_UPDATE_CATALOG") != nullptr) {
+    std::ofstream out(kCatalogPath);
+    out << expected;
+    GTEST_SKIP() << "solver catalog regenerated at " << kCatalogPath;
+  }
+
+  const std::string committed = read_file(kCatalogPath);
+  ASSERT_FALSE(committed.empty())
+      << "missing " << kCatalogPath
+      << " — generate it with ./build/bench_table1_catalog --solver-catalog-out "
+         "docs/solver-catalog.md";
+  EXPECT_EQ(committed, expected)
+      << "docs/solver-catalog.md is out of sync with gp::SolverRegistry::global(); "
+         "regenerate with HYDRA_UPDATE_CATALOG=1 ./build/test_solver_catalog or "
+         "./build/bench_table1_catalog --solver-catalog-out docs/solver-catalog.md";
+}

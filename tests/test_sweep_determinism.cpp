@@ -15,6 +15,7 @@
 
 #include "exp/aggregate.h"
 #include "exp/sweep.h"
+#include "gp/solver_registry.h"
 
 namespace hexp = hydra::exp;
 
@@ -116,6 +117,40 @@ TEST(SweepDeterminism, WarmStartFlagDoesNotChangeFingerprint) {
   auto off = small_grid();
   off.scp_warm_start = false;
   EXPECT_EQ(hexp::sweep_fingerprint(on), hexp::sweep_fingerprint(off));
+}
+
+TEST(SweepDeterminism, GpBackendIsARowByteInput) {
+  // The GP backend changes the numbers a sweep can produce, so it IS part of
+  // the fingerprint — unlike scp_warm_start/jobs above, which are plumbing.
+  // The empty spelling and the explicit default name are the same
+  // configuration and must collide (the fingerprint stamps the resolved
+  // name), so upgrading old specs to name the backend never orphans
+  // checkpoints.
+  const auto fp_default = hexp::sweep_fingerprint(small_grid());
+  auto named = small_grid();
+  named.gp_backend = hydra::gp::kDefaultGpBackend;
+  EXPECT_EQ(hexp::sweep_fingerprint(named), fp_default);
+
+  auto ipm = small_grid();
+  ipm.gp_backend = "ipm/filter";
+  EXPECT_NE(hexp::sweep_fingerprint(ipm), fp_default);
+
+  auto best = small_grid();
+  best.gp_backend = "pick-best";
+  EXPECT_NE(hexp::sweep_fingerprint(best), fp_default);
+  EXPECT_NE(hexp::sweep_fingerprint(best), hexp::sweep_fingerprint(ipm));
+}
+
+TEST(SweepDeterminism, UnknownGpBackendIsRejectedAtConstruction) {
+  // Typos fail fast with the catalog in the message, not mid-sweep.
+  auto spec = small_grid();
+  spec.gp_backend = "no-such-backend";
+  try {
+    const hexp::Sweep sweep(std::move(spec));
+    FAIL() << "unknown gp_backend accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no-such-backend"), std::string::npos);
+  }
 }
 
 TEST(SweepDeterminism, RowsRoundTripThroughParser) {
