@@ -1,5 +1,8 @@
 #include "swarm/service.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -55,8 +58,94 @@ AllocationService::AllocationService(ServiceOptions options)
   if (options_.default_schemes.empty()) {
     throw std::invalid_argument("service needs at least one default scheme");
   }
+  if (options_.journal_compact_factor < 2) {
+    throw std::invalid_argument("journal_compact_factor must be >= 2");
+  }
   // Validate the defaults now, not on the first request.
   core::AllocatorRegistry::global().make_all(options_.default_schemes);
+
+  if (!options_.cache_journal_path.empty()) {
+    journal_replay();
+    // Startup compaction: drop every dead append accumulated across prior
+    // daemon lifetimes, and leave the journal exactly mirroring the live
+    // cache.  Also (re)creates the file and opens the append stream.
+    journal_compact();
+  }
+}
+
+/// One journal record.  The response is itself a JSON line, so it rides as
+/// an escaped string through the same flat-JSON grammar the request
+/// protocol uses — parse_flat_json replays it exactly.
+static std::string journal_record(const std::string& key,
+                                  const std::string& response) {
+  return "{\"fingerprint\":\"" + exp::json_escape(key) + "\",\"response\":\"" +
+         exp::json_escape(response) + "\"}";
+}
+
+void AllocationService::journal_replay() {
+  std::ifstream in(options_.cache_journal_path, std::ios::binary);
+  if (!in) return;  // first boot: no journal yet
+  replaying_ = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!in.eof() && in.fail()) break;
+    // A torn final record (crash mid-append) has no terminating newline;
+    // getline still returns it, so require a parse to accept anything.  A
+    // record that fails to parse ends the replay — everything after a
+    // corrupt region is suspect, and the startup compaction rewrites the
+    // file from what WAS restored.
+    const auto fields = parse_flat_json(line);
+    if (!fields.has_value()) break;
+    const auto key_it = fields->find("fingerprint");
+    const auto response_it = fields->find("response");
+    if (key_it == fields->end() || !key_it->second.string_value.has_value() ||
+        response_it == fields->end() ||
+        !response_it->second.string_value.has_value()) {
+      break;
+    }
+    cache_insert(*key_it->second.string_value, *response_it->second.string_value);
+    ++stats_.journal_replayed;
+  }
+  replaying_ = false;
+}
+
+void AllocationService::journal_append(const std::string& key,
+                                       const std::string& response) {
+  if (!journal_.is_open()) return;
+  const std::string record = journal_record(key, response) + "\n";
+  journal_ << record;
+  journal_.flush();  // a served response must be durable before the next poll
+  journal_bytes_ += record.size();
+  if (journal_bytes_ >
+      options_.journal_compact_factor * std::max<std::size_t>(stats_.cache_bytes, 1)) {
+    journal_compact();
+  }
+}
+
+void AllocationService::journal_compact() {
+  const std::string& path = options_.cache_journal_path;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open journal tmp: " + tmp);
+    // Least-recent first, so a sequential replay reconstructs the same LRU
+    // recency order this daemon is holding now.
+    std::size_t bytes = 0;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const auto entry = cache_.find(*it);
+      const std::string record = journal_record(*it, entry->second.response) + "\n";
+      out << record;
+      bytes += record.size();
+    }
+    out.flush();
+    if (!out) throw std::runtime_error("cannot write journal tmp: " + tmp);
+    journal_bytes_ = bytes;
+  }
+  if (journal_.is_open()) journal_.close();
+  std::filesystem::rename(tmp, path);
+  journal_.open(path, std::ios::binary | std::ios::app);
+  if (!journal_) throw std::runtime_error("cannot reopen journal: " + path);
+  ++stats_.journal_compactions;
 }
 
 std::string AllocationService::cache_lookup(const std::string& key) {
@@ -73,6 +162,16 @@ void AllocationService::cache_insert(const std::string& key,
     ++stats_.uncacheable;
     return;
   }
+  // A key can legitimately re-insert (journal replay after an eviction wrote
+  // the same fingerprint twice); the old entry's bytes and LRU node must go
+  // first, or cache_bytes drifts upward and the orphaned stale node later
+  // "evicts" the live entry.
+  const auto existing = cache_.find(key);
+  if (existing != cache_.end()) {
+    stats_.cache_bytes -= key.size() + existing->second.response.size();
+    lru_.erase(existing->second.lru_position);
+    cache_.erase(existing);
+  }
   lru_.push_front(key);
   cache_[key] = CacheEntry{response, lru_.begin()};
   stats_.cache_bytes += entry_bytes;
@@ -85,6 +184,10 @@ void AllocationService::cache_insert(const std::string& key,
     ++stats_.evictions;
   }
   stats_.cache_entries = cache_.size();
+  // Journal only entries that survived their own insertion (a tiny budget
+  // can evict the newcomer immediately) — and never during replay, which
+  // would double every record it reads.
+  if (!replaying_ && cache_.count(key) != 0) journal_append(key, response);
 }
 
 std::string AllocationService::stats_response() const {
@@ -104,6 +207,8 @@ std::string AllocationService::stats_response() const {
   put("uncacheable", stats_.uncacheable);
   put("engine_batches", stats_.engine_batches);
   put("engine_rows", stats_.engine_rows);
+  put("journal_replayed", stats_.journal_replayed);
+  put("journal_compactions", stats_.journal_compactions);
   put("cache_entries", stats_.cache_entries);
   put("cache_bytes", stats_.cache_bytes);
   put("cache_budget_bytes", options_.cache_budget_bytes);

@@ -22,10 +22,20 @@
 //
 // The cache is LRU over a byte budget (keys + response bytes), with
 // hit/miss/eviction counters surfaced by {"op":"stats"}.
+//
+// With `cache_journal_path` set, the cache also survives the daemon: every
+// insert appends one flat-JSON record {"fingerprint":...,"response":...} to
+// an append-only journal, replayed at construction so a restarted daemon
+// serves byte-identical hits with ZERO engine invocations.  Torn trailing
+// records (a crash mid-append) are skipped like a torn checkpoint line;
+// duplicate fingerprints replay last-record-wins; the journal is compacted
+// (live entries only, tmp + atomic rename) at startup and whenever its size
+// exceeds journal_compact_factor x the live cache bytes.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <list>
 #include <map>
 #include <string>
@@ -41,6 +51,13 @@ struct ServiceOptions {
   std::size_t cache_budget_bytes = 64u * 1024 * 1024;
   std::size_t jobs = 1;            ///< engine worker threads per batch
   std::size_t optimal_budget = 4096;
+  /// Non-empty: persist the cache to this append-only journal and replay it
+  /// at construction (see the header comment).  The journal only ever holds
+  /// entries that fit the byte budget, so replay can never over-fill.
+  std::string cache_journal_path;
+  /// Compact once the journal exceeds this multiple of the live cache bytes
+  /// (dead appends — evicted or superseded entries — are the difference).
+  std::size_t journal_compact_factor = 4;
 };
 
 struct ServiceStats {
@@ -54,6 +71,8 @@ struct ServiceStats {
   std::uint64_t uncacheable = 0;        ///< responses larger than the budget
   std::uint64_t engine_batches = 0;     ///< exp engine passes run
   std::uint64_t engine_rows = 0;        ///< rows those passes produced
+  std::uint64_t journal_replayed = 0;   ///< entries restored at construction
+  std::uint64_t journal_compactions = 0;
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
 };
@@ -89,12 +108,20 @@ class AllocationService {
   void cache_insert(const std::string& key, const std::string& response);
   std::string stats_response() const;
 
+  void journal_replay();
+  void journal_append(const std::string& key, const std::string& response);
+  void journal_compact();
+
   ServiceOptions options_;
   ServiceStats stats_;
   bool shutdown_ = false;
 
   std::map<std::string, CacheEntry> cache_;
   std::list<std::string> lru_;  ///< most recent at front, by key
+
+  std::ofstream journal_;            ///< open append stream when journaling
+  std::size_t journal_bytes_ = 0;    ///< bytes in the journal file
+  bool replaying_ = false;           ///< replay inserts must not re-append
 };
 
 }  // namespace hydra::swarm

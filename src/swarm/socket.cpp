@@ -5,7 +5,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
@@ -15,6 +17,27 @@ namespace hydra::swarm {
 namespace {
 
 constexpr double kServerClock = 0.0;  // events from the server carry no clock
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+#ifdef MSG_DONTWAIT
+constexpr int kNoWaitFlag = MSG_DONTWAIT;
+#else
+constexpr int kNoWaitFlag = 0;  // degrades to blocking sends on exotic hosts
+#endif
+
+/// The validated poll() timeout: poll_interval_s has already been checked
+/// finite and positive, so this only clamps the cast — a sub-millisecond
+/// interval still waits 1ms (never 0, which busy-spins), and a huge one is
+/// capped so stop() is observed within a minute regardless.
+int poll_timeout_ms(double poll_interval_s) {
+  const double ms = poll_interval_s * 1000.0;
+  return static_cast<int>(std::clamp(ms, 1.0, 60'000.0));
+}
 
 sockaddr_un make_address(const std::string& path) {
   sockaddr_un address{};
@@ -31,11 +54,7 @@ sockaddr_un make_address(const std::string& path) {
 void send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-#ifdef MSG_NOSIGNAL
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-#else
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-#endif
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, kSendFlags);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       throw std::runtime_error("socket write failed");
@@ -49,6 +68,11 @@ void send_all(int fd, const std::string& data) {
 ServiceServer::ServiceServer(AllocationService& service, ServerOptions options,
                              EventLog& log)
     : service_(service), options_(std::move(options)), log_(log) {
+  if (!std::isfinite(options_.poll_interval_s) || options_.poll_interval_s <= 0.0) {
+    throw std::invalid_argument(
+        "poll_interval_s must be finite and > 0 (0 busy-spins, negative blocks"
+        " poll() forever and masks shutdown)");
+  }
   const auto address = make_address(options_.socket_path);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("cannot create socket");
@@ -79,14 +103,34 @@ ServiceServer::~ServiceServer() {
 std::size_t ServiceServer::run() {
   struct Connection {
     int fd;
-    std::string buffer;
+    std::string in;           ///< unconsumed request bytes (partial lines)
+    std::string out;          ///< response bytes not yet on the wire
+    std::size_t out_off = 0;  ///< sent prefix of `out`
   };
   std::vector<Connection> connections;
   std::size_t served = 0;
+  const int timeout_ms = poll_timeout_ms(options_.poll_interval_s);
 
-  const auto close_connection = [&](std::size_t index) {
-    ::close(connections[index].fd);
-    connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(index));
+  // Pushes as much of the connection's buffer as the socket accepts RIGHT
+  // NOW — never blocking, so one slow client cannot stall the loop.  The
+  // remainder waits for POLLOUT.  Returns false when the peer is gone.
+  const auto flush_out = [](Connection& connection) -> bool {
+    while (connection.out_off < connection.out.size()) {
+      const ssize_t n = ::send(connection.fd,
+                               connection.out.data() + connection.out_off,
+                               connection.out.size() - connection.out_off,
+                               kSendFlags | kNoWaitFlag);
+      if (n > 0) {
+        connection.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;  // EPIPE/ECONNRESET: the client vanished
+    }
+    connection.out.clear();
+    connection.out_off = 0;
+    return true;
   };
 
   while (!stop_.load()) {
@@ -97,10 +141,11 @@ std::size_t ServiceServer::run() {
     std::vector<pollfd> fds;
     if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
     for (const auto& connection : connections) {
-      fds.push_back({connection.fd, POLLIN, 0});
+      short events = POLLIN;
+      if (connection.out_off < connection.out.size()) events |= POLLOUT;
+      fds.push_back({connection.fd, events, 0});
     }
     const std::size_t base = accepting ? 1 : 0;
-    const int timeout_ms = static_cast<int>(options_.poll_interval_s * 1000.0);
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
@@ -108,29 +153,40 @@ std::size_t ServiceServer::run() {
     }
     if (ready == 0) continue;
 
+    std::vector<bool> dead(connections.size(), false);
+
+    // Drain writable backlogs first: a client that finally caught up frees
+    // its buffer before this cycle's batch appends to it.
+    for (std::size_t c = 0; c < connections.size(); ++c) {
+      if ((fds[base + c].revents & POLLOUT) == 0) continue;
+      if (!flush_out(connections[c])) dead[c] = true;
+    }
+
     // Drain every ready connection; the complete lines gathered across ALL
     // of them form one service batch.  Accepting happens AFTER the drain so
     // fds[base + c] stays aligned with the connections poll() saw.
     std::vector<std::pair<std::size_t, std::string>> batch;  // (conn index, line)
-    std::vector<std::size_t> hangups;
     for (std::size_t c = 0; c < connections.size(); ++c) {
+      if (dead[c]) continue;
       if ((fds[base + c].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       char chunk[65536];
       const ssize_t n = ::recv(connections[c].fd, chunk, sizeof(chunk), 0);
       if (n <= 0) {
         if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
-        hangups.push_back(c);
+        // EOF or error: the client is gone; any responses still buffered
+        // for it have no reader and are dropped with the connection.
+        dead[c] = true;
         continue;
       }
-      connections[c].buffer.append(chunk, static_cast<std::size_t>(n));
+      connections[c].in.append(chunk, static_cast<std::size_t>(n));
       std::size_t start = 0;
       for (;;) {
-        const std::size_t newline = connections[c].buffer.find('\n', start);
+        const std::size_t newline = connections[c].in.find('\n', start);
         if (newline == std::string::npos) break;
-        batch.emplace_back(c, connections[c].buffer.substr(start, newline - start));
+        batch.emplace_back(c, connections[c].in.substr(start, newline - start));
         start = newline + 1;
       }
-      connections[c].buffer.erase(0, start);
+      connections[c].in.erase(0, start);
     }
 
     if (!batch.empty()) {
@@ -141,30 +197,60 @@ std::size_t ServiceServer::run() {
       served += lines.size();
       log_.emit(kServerClock, "service-batch", "",
                 std::to_string(lines.size()) + " request(s)");
+      // Buffer, then flush opportunistically: the fast path still completes
+      // in this cycle, while a full socket just leaves bytes for POLLOUT.
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        try {
-          send_all(connections[batch[i].first].fd, responses[i] + "\n");
-        } catch (const std::exception&) {
-          // The client vanished between request and response; its fd is
-          // collected by the hangup pass on the next drain.
-        }
+        const std::size_t c = batch[i].first;
+        if (dead[c]) continue;
+        connections[c].out += responses[i] + "\n";
+      }
+      for (std::size_t c = 0; c < connections.size(); ++c) {
+        if (dead[c] || connections[c].out_off >= connections[c].out.size()) continue;
+        if (!flush_out(connections[c])) dead[c] = true;
+      }
+    }
+
+    // Backpressure cap: a client this far behind is not reading at all;
+    // spooling unbounded responses for it would let one dead-slow reader
+    // grow the daemon's memory without limit.
+    for (std::size_t c = 0; c < connections.size(); ++c) {
+      if (dead[c]) continue;
+      const std::size_t pending = connections[c].out.size() - connections[c].out_off;
+      if (pending > options_.max_pending_bytes) {
+        dead[c] = true;
+        log_.emit(kServerClock, "client-overrun", "",
+                  std::to_string(pending) + " bytes pending > cap");
       }
     }
 
     // Close from the back so earlier indices stay valid.
-    for (auto it = hangups.rbegin(); it != hangups.rend(); ++it) {
-      close_connection(*it);
+    for (std::size_t c = connections.size(); c-- > 0;) {
+      if (!dead[c]) continue;
+      ::close(connections[c].fd);
+      connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(c));
     }
 
     if (accepting && (fds[0].revents & POLLIN) != 0) {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd >= 0) connections.push_back(Connection{fd, ""});
+      if (fd >= 0) connections.push_back(Connection{fd, "", "", 0});
     }
 
     if (service_.shutdown_requested()) break;
   }
 
-  for (auto& connection : connections) ::close(connection.fd);
+  // Final drain: responses already owed (the shutdown acknowledgement
+  // included) are delivered with blocking sends — the loop is over, so
+  // blocking here stalls nobody.
+  for (auto& connection : connections) {
+    try {
+      if (connection.out_off < connection.out.size()) {
+        send_all(connection.fd, connection.out.substr(connection.out_off));
+      }
+    } catch (const std::exception&) {
+      // Best effort: the peer hung up first.
+    }
+    ::close(connection.fd);
+  }
   log_.emit(kServerClock, "service-stopped", options_.socket_path,
             std::to_string(served) + " request(s) served");
   return served;

@@ -8,6 +8,12 @@
 // (ServiceOptions::jobs), so a multithreaded accept loop would buy nothing
 // and cost the cache a lock.  Clients hold one connection and pipeline
 // requests; responses come back in request order per connection.
+//
+// Writes never block the loop: responses land in a per-connection buffer
+// drained with non-blocking sends under POLLOUT, so one slow (or stopped)
+// client only grows its own buffer while every other client keeps being
+// served.  A connection whose buffer exceeds max_pending_bytes is closed —
+// the daemon's memory is not a slow reader's spool.
 #pragma once
 
 #include <atomic>
@@ -22,7 +28,12 @@ namespace hydra::swarm {
 struct ServerOptions {
   std::string socket_path;       ///< filesystem path of the listening socket
   std::size_t max_connections = 64;
-  double poll_interval_s = 0.25; ///< poll() timeout between idle wakeups
+  /// poll() timeout between idle wakeups.  Must be finite and > 0: zero
+  /// would busy-spin and a negative value would block poll() forever,
+  /// masking stop()/shutdown.  Validated by the ServiceServer constructor.
+  double poll_interval_s = 0.25;
+  /// Per-connection write-buffer cap; a client this far behind is closed.
+  std::size_t max_pending_bytes = 64u * 1024 * 1024;
 };
 
 class ServiceServer {

@@ -1,6 +1,7 @@
 #include "swarm/sweep_runner.h"
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -65,6 +66,14 @@ SweepRunner::SweepRunner(SweepRunnerOptions options, ProcessBackend& backend,
     throw std::invalid_argument("swarm needs a worker command (after --)");
   }
   if (options_.dir.empty()) throw std::invalid_argument("swarm needs a --dir");
+  if (!std::isfinite(options_.poll_interval_s) || options_.poll_interval_s <= 0.0) {
+    throw std::invalid_argument(
+        "poll_interval_s must be finite and > 0 (0 busy-spins the probe loop,"
+        " negative sleeps forever)");
+  }
+  if (!std::isfinite(options_.merge_interval_s) || options_.merge_interval_s <= 0.0) {
+    throw std::invalid_argument("merge_interval_s must be finite and > 0");
+  }
   if (options_.chaos_kill_shard >= 0 &&
       static_cast<std::size_t>(options_.chaos_kill_shard) >= options_.shards) {
     throw std::invalid_argument("chaos shard index out of range");

@@ -47,8 +47,8 @@ struct SweepRunnerOptions {
   std::string dir;           ///< shard checkpoints + per-worker logs live here
   std::string out_path;      ///< final merged stream; "" = stdout
   std::string partial_path;  ///< periodic allow-partial merge target; "" = off
-  double poll_interval_s = 0.25;
-  double merge_interval_s = 5.0;
+  double poll_interval_s = 0.25;   ///< must be finite and > 0 (validated)
+  double merge_interval_s = 5.0;   ///< must be finite and > 0 (validated)
   SupervisorPolicy policy;
   /// Non-empty: pin every shard header (and the final merge) to this spec
   /// fingerprint.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -217,6 +218,145 @@ TEST(SwarmService, OversizedResponsesAreServedButNotCached) {
   EXPECT_EQ(service.stats().cache_entries, 0u);
   service.handle_line(line);
   EXPECT_EQ(service.stats().misses, 2u);  // nothing was retained
+}
+
+TEST(SwarmService, ReinsertingAKeyKeepsByteAccountingExact) {
+  // A journal with the same fingerprint twice (an entry re-cached after an
+  // eviction in a prior daemon life) replays through the duplicate-insert
+  // path: the old entry's bytes and LRU node must be retired, or
+  // cache_bytes drifts upward and the stale node later evicts the live one.
+  const std::string dir = testing::TempDir() + "swarm_dup_key";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/cache.jsonl";
+  {
+    std::ofstream out(journal, std::ios::binary);
+    out << "{\"fingerprint\":\"k1\",\"response\":\"aaaaaaaa\"}\n";
+    out << "{\"fingerprint\":\"k2\",\"response\":\"bbbbbbbb\"}\n";
+    out << "{\"fingerprint\":\"k1\",\"response\":\"cccc\"}\n";  // supersedes
+  }
+  auto options = small_options();
+  options.cache_journal_path = journal;
+  swarm::AllocationService service(options);
+
+  EXPECT_EQ(service.stats().journal_replayed, 3u);
+  EXPECT_EQ(service.stats().cache_entries, 2u);
+  // Exact bytes: k1→cccc (2+4) + k2→bbbbbbbb (2+8).  The drifting bug
+  // counted k1's first response too.
+  EXPECT_EQ(service.stats().cache_bytes, 16u);
+  // No phantom eviction: both entries are live, nothing was over budget.
+  EXPECT_EQ(service.stats().evictions, 0u);
+  // The startup compaction rewrote the journal to the two live records.
+  std::size_t lines = 0;
+  std::ifstream in(journal);
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SwarmService, JournalSurvivesARestartWithZeroEngineInvocations) {
+  const std::string dir = testing::TempDir() + "swarm_journal";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto options = small_options();
+  options.cache_journal_path = dir + "/cache.jsonl";
+  const std::string line = allocate_line("mid_2core_b.txt");
+
+  std::string cold;
+  {
+    swarm::AllocationService first(options);
+    cold = first.handle_line(line);
+    ASSERT_EQ(cold.rfind("{\"ok\":true,\"op\":\"allocate\"", 0), 0u) << cold;
+    EXPECT_EQ(first.stats().engine_batches, 1u);
+  }  // daemon dies
+
+  swarm::AllocationService restarted(options);
+  EXPECT_GE(restarted.stats().journal_replayed, 1u);
+  const std::string hot = restarted.handle_line(line);
+  // THE acceptance criterion: byte-identical to the pre-restart response,
+  // with zero engine work — the journal alone served it.
+  EXPECT_EQ(hot, cold);
+  EXPECT_EQ(restarted.stats().hits, 1u);
+  EXPECT_EQ(restarted.stats().misses, 0u);
+  EXPECT_EQ(restarted.stats().engine_batches, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SwarmService, JournalTornTailIsDiscardedNotFatal) {
+  const std::string dir = testing::TempDir() + "swarm_journal_torn";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto options = small_options();
+  options.cache_journal_path = dir + "/cache.jsonl";
+  const std::string line = allocate_line("mid_2core_b.txt");
+  std::string cold;
+  {
+    swarm::AllocationService first(options);
+    cold = first.handle_line(line);
+  }
+  {
+    // A crash mid-append leaves a torn, newline-less fragment.
+    std::ofstream out(options.cache_journal_path,
+                      std::ios::binary | std::ios::app);
+    out << "{\"fingerprint\":\"torn\",\"response\":\"never fini";
+  }
+  swarm::AllocationService restarted(options);
+  EXPECT_EQ(restarted.stats().journal_replayed, 1u);  // the fragment is not
+  EXPECT_EQ(restarted.handle_line(line), cold);
+  EXPECT_EQ(restarted.stats().engine_batches, 0u);
+  // The startup compaction scrubbed the fragment: a THIRD daemon replays a
+  // clean journal.
+  swarm::AllocationService third(options);
+  EXPECT_EQ(third.stats().journal_replayed, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SwarmService, JournalCompactsOnceDeadRecordsDominate) {
+  const std::string dir = testing::TempDir() + "swarm_journal_compact";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  auto options = small_options();
+  options.default_schemes = {"hydra"};
+  swarm::AllocationService probe(options);
+  const std::string mid = allocate_line("mid_2core_b.txt");
+  const std::string easy = allocate_line("easy_2core_a.txt");
+  const std::size_t response_bytes = probe.handle_line(mid).size();
+
+  // Budget fits ~1.5 responses, so alternating requests evict each other:
+  // every round appends a fresh record while the live set stays at one
+  // entry — the journal fills with dead records until the compaction rule
+  // (bytes > factor x live) fires.
+  options.cache_budget_bytes = response_bytes * 3 / 2 + 64;
+  options.cache_journal_path = dir + "/cache.jsonl";
+  swarm::AllocationService service(options);
+  for (int round = 0; round < 6; ++round) {
+    service.handle_line(round % 2 == 0 ? mid : easy);
+  }
+  EXPECT_GE(service.stats().evictions, 5u);
+  EXPECT_GE(service.stats().journal_compactions, 2u);  // startup + at least one
+
+  // Whatever survived is exactly what a restart restores: the last request
+  // (easy, round 5) must hit without engine work.
+  swarm::AllocationService restarted(options);
+  EXPECT_EQ(restarted.stats().cache_entries, 1u);
+  restarted.handle_line(easy);
+  EXPECT_EQ(restarted.stats().hits, 1u);
+  EXPECT_EQ(restarted.stats().engine_batches, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SwarmSocket, RejectsBusySpinAndForeverBlockingPollIntervals) {
+  swarm::AllocationService service(small_options());
+  swarm::EventLog log;
+  swarm::ServerOptions options;
+  options.socket_path = testing::TempDir() + "hydra_poll_validate.sock";
+  options.poll_interval_s = 0.0;  // would busy-spin
+  EXPECT_THROW(swarm::ServiceServer(service, options, log),
+               std::invalid_argument);
+  options.poll_interval_s = -1.0;  // poll(-1) blocks forever, masks shutdown
+  EXPECT_THROW(swarm::ServiceServer(service, options, log),
+               std::invalid_argument);
 }
 
 TEST(SwarmService, ShutdownOpFlagsTheTransportLoop)

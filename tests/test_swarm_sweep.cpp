@@ -297,6 +297,51 @@ TEST(SwarmSweep, RetryExhaustionFailsLoudlyWithoutMergedOutput) {
   EXPECT_EQ(log.count("swarm-failed"), 1u);
 }
 
+TEST(SwarmSweep, RemoteBackendWithLocalLauncherConvergesThroughChaos) {
+  TempDir dir("swarm_remote");
+  auto options = base_options(dir.path);
+  options.worker_command.insert(options.worker_command.end(),
+                                {"--row-delay-ms", "25"});
+  options.chaos_kill_shard = 1;
+  options.chaos_after_rows = 2;
+
+  // The same swarm, but every worker launches through the remote seam with a
+  // plain local launcher template — the CI-testable stand-in for
+  // "ssh {host} {cmd}".  The chaos SIGKILL lands on the LAUNCHER process
+  // (sh exec's the worker, so they are one), and liveness still flows from
+  // the checkpoint probes; the merged stream must not care.
+  swarm::RemoteBackendOptions remote;
+  remote.launcher = "sh -c {cmd}";
+  swarm::RemoteProcessBackend backend(remote);
+  swarm::EventLog log;
+  swarm::SweepRunner runner(options, backend, log);
+  std::ostringstream status;
+  const auto result = runner.run(status);
+
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(slurp(options.out_path), reference_rows());
+  EXPECT_EQ(log.count("worker-killed"), 1u);
+  EXPECT_GE(result.restarts, 1u);
+}
+
+TEST(SwarmSweep, RunnerRejectsBusySpinPollIntervals) {
+  TempDir dir("swarm_bad_poll");
+  swarm::LocalProcessBackend backend;
+  swarm::EventLog log;
+
+  auto zero = base_options(dir.path);
+  zero.poll_interval_s = 0.0;  // would busy-spin the probe loop
+  EXPECT_THROW(swarm::SweepRunner(zero, backend, log), std::invalid_argument);
+
+  auto negative = base_options(dir.path);
+  negative.poll_interval_s = -0.5;
+  EXPECT_THROW(swarm::SweepRunner(negative, backend, log), std::invalid_argument);
+
+  auto bad_merge = base_options(dir.path);
+  bad_merge.merge_interval_s = 0.0;
+  EXPECT_THROW(swarm::SweepRunner(bad_merge, backend, log), std::invalid_argument);
+}
+
 TEST(SwarmSweep, ProbeCountsDurableRowsAndIgnoresTornTail) {
   TempDir dir("swarm_probe");
   const std::string path = dir.path + "/probe.jsonl";

@@ -14,6 +14,18 @@
 //   `--shard i/N --out <dir>/shard_i.jsonl --resume <dir>/shard_i.jsonl` per
 //   worker, so any sweep tool that understands those three flags can swarm.
 //
+//   With `--launcher` the workers run through a launcher template instead of
+//   a plain local fork/exec — `{cmd}` becomes the shell-quoted worker
+//   command, `{host}` round-robins over `--hosts`:
+//
+//     hydra_swarm sweep --shards 8 --dir /nfs/swarm
+//         --launcher "ssh {host} {cmd}" --hosts m1,m2,m3,m4
+//         -- ./build/bench_fig2_acceptance --replications 20
+//
+//   The shard directory must live on a filesystem shared with every host
+//   (liveness and resume both read the checkpoints); `--launcher "sh -c
+//   {cmd}"` exercises the same path entirely locally (CI does).
+//
 //   serve — long-running allocation daemon over a Unix-domain socket,
 //   line-delimited JSON in/out, batching concurrent requests through one
 //   engine pass and caching responses by spec fingerprint:
@@ -30,6 +42,7 @@
 // salvage command before exiting); 2 usage error.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -52,9 +65,11 @@ int usage(const std::string& program) {
       << "          [--poll S] [--merge-every S] [--max-attempts K]\n"
       << "          [--stall-timeout S] [--backoff S] [--expect-fingerprint HEX]\n"
       << "          [--chaos-kill-shard I] [--chaos-after-cells N]\n"
+      << "          [--launcher TEMPLATE] [--hosts h1,h2,...]\n"
       << "          -- worker_command worker_args...\n"
       << "  serve   --socket PATH [--schemes a,b] [--cache-bytes N] [--jobs N]\n"
       << "          [--optimal-budget N] [--poll S] [--events F]\n"
+      << "          [--cache-journal F]\n"
       << "  request --socket PATH (--taskset FILE [--schemes a,b] | --stats |\n"
       << "          --ping | --shutdown | --raw LINE)\n";
   return 2;
@@ -109,8 +124,19 @@ int run_sweep(int argc, char** argv) {
 
   EventSink events(cli.get_string("events", ""));
   swarm::EventLog log(events.stream);
-  swarm::LocalProcessBackend backend;
-  swarm::SweepRunner runner(std::move(options), backend, log);
+  // --launcher selects the remote backend (a plain local launcher template
+  // like "sh -c {cmd}" works too); without it workers fork/exec directly.
+  std::unique_ptr<swarm::ProcessBackend> backend;
+  const std::string launcher = cli.get_string("launcher", "");
+  if (!launcher.empty()) {
+    swarm::RemoteBackendOptions remote;
+    remote.launcher = launcher;
+    remote.hosts = cli.get_string_list("hosts", {});
+    backend = std::make_unique<swarm::RemoteProcessBackend>(std::move(remote));
+  } else {
+    backend = std::make_unique<swarm::LocalProcessBackend>();
+  }
+  swarm::SweepRunner runner(std::move(options), *backend, log);
   const auto result = runner.run(std::cerr);
   if (!result.ok) {
     std::cerr << "hydra_swarm: " << result.error << "\n";
@@ -137,6 +163,7 @@ int run_serve(int argc, char** argv) {
   service_options.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
   service_options.optimal_budget = static_cast<std::size_t>(cli.get_int(
       "optimal-budget", static_cast<std::int64_t>(service_options.optimal_budget)));
+  service_options.cache_journal_path = cli.get_string("cache-journal", "");
 
   swarm::ServerOptions server_options;
   server_options.socket_path = socket_path;
@@ -145,6 +172,11 @@ int run_serve(int argc, char** argv) {
   EventSink events(cli.get_string("events", ""));
   swarm::EventLog log(events.stream);
   swarm::AllocationService service(service_options);
+  if (!service_options.cache_journal_path.empty()) {
+    std::cerr << "hydra_swarm: replayed " << service.stats().journal_replayed
+              << " cached response(s) from "
+              << service_options.cache_journal_path << "\n";
+  }
   swarm::ServiceServer server(service, server_options, log);
   std::cerr << "hydra_swarm: serving on " << socket_path << "\n";
   const std::size_t served = server.run();
