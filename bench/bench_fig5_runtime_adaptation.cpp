@@ -17,8 +17,16 @@
 //
 // Everything rides one exp::Sweep with exp::adaptive_detection_metrics
 // attached, so every cell reports detection means with 95% CIs plus the
-// controller's behaviour — committed switch counts and the adapted-mode
-// residency fraction — and the whole run is byte-identical for any --jobs.
+// controller's behaviour — committed switch counts, the adapted-mode
+// residency fraction, and the decisions the dwell/budget machinery denied —
+// and the whole run is byte-identical for any --jobs.
+//
+// `--policies` runs several registered controller policies
+// (sim::ControllerRegistry; see docs/controller-catalog.md) side by side:
+// each policy contributes its own adaptive metric family (names suffixed
+// "/<policy>" when more than one is selected) over the SAME instances and
+// attacks, so the table compares e.g. hysteresis vs boost vs never-switch
+// row for row.
 //
 // Expected shape: min-mode >= adaptive >= static >= global on mean latency;
 // adapted residency falls (and switches rise) as utilization grows and slack
@@ -26,9 +34,10 @@
 //
 // Usage: bench_fig5_runtime_adaptation [--tasksets 12] [--seed 23] [--cores 2]
 //            [--schemes contego] [--utilizations 0.6,1.0,1.4]
+//            [--policies hysteresis,boost,never-switch] [--levels 2]
 //            [--trials 120] [--horizon-s 200] [--det-seed 1]
 //            [--window-ms 0] [--tighten 0.25] [--relax 0.05]
-//            [--dwell-ms 0] [--switch-budget 0]
+//            [--dwell-ms 0] [--switch-budget 0] [--boost-window-ms 0]
 //            [--jobs 1] [--shard 0/1] [--out rows.jsonl] [--resume rows.jsonl]
 //            [--agg-out cells.jsonl] [--csv]
 //
@@ -37,6 +46,7 @@
 // the result is byte-identical to the unsharded run.
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -87,7 +97,22 @@ int main(int argc, char** argv) {
     metrics_config.controller.switch_budget =
         static_cast<std::size_t>(cli.get_int("switch-budget", 0));
   }
+  metrics_config.controller.num_levels =
+      static_cast<std::size_t>(cli.get_int("levels", 2));
+  metrics_config.controller.boost_window =
+      static_cast<std::uint64_t>(cli.get_int("boost-window-ms", 0)) *
+      hydra::util::kTicksPerMilli;
   metrics_config.include_global = true;
+
+  const auto policy_names = cli.get_string_list("policies", {"hysteresis"});
+  // One policy keeps the historical unsuffixed metric names (and stamps the
+  // policy into the sweep fingerprint); several run side by side as
+  // "/<policy>"-suffixed families over the same instances and attacks, with
+  // the policy-free baselines attached to the first family only.
+  const bool multi_policy = policy_names.size() > 1;
+  const auto family_suffix = [&](const std::string& policy) {
+    return multi_policy ? "/" + policy : std::string();
+  };
 
   gen::SyntheticConfig config;
   config.num_cores = cores;
@@ -120,7 +145,19 @@ int main(int argc, char** argv) {
                  "hydra_merge have no CSV form)\n";
     return 2;
   }
-  spec.metrics = hexp::adaptive_detection_metrics(metrics_config);
+  for (std::size_t i = 0; i < policy_names.size(); ++i) {
+    hexp::AdaptiveMetricsConfig family = metrics_config;
+    family.controller.policy = policy_names[i];
+    family.name_suffix = family_suffix(policy_names[i]);
+    family.include_static = i == 0;
+    family.include_min_mode = i == 0;
+    family.include_global = i == 0;
+    auto family_metrics = hexp::adaptive_detection_metrics(family);
+    spec.metrics.insert(spec.metrics.end(),
+                        std::make_move_iterator(family_metrics.begin()),
+                        std::make_move_iterator(family_metrics.end()));
+  }
+  if (!multi_policy) spec.controller_policy = policy_names.front();
   spec.add_utilization_grid(config, utilizations);
   const hexp::Sweep sweep(std::move(spec));
 
@@ -150,29 +187,34 @@ int main(int argc, char** argv) {
   const auto summary = sweep.run(sinks);
   const auto cells = aggregator.cells();
 
-  io::Table table({"total utilization", "scheme", "acceptance",
+  io::Table table({"total utilization", "scheme", "policy", "acceptance",
                    "min-mode mean (ms)", "adaptive mean (ms) [CI]",
                    "adaptive p95 (ms)", "static mean (ms)", "global mean (ms)",
-                   "adapted residency", "switches"});
+                   "adapted residency", "switches", "denied dwell/budget"});
   for (std::size_t p = 0; p < sweep.spec().points.size(); ++p) {
     const auto& point = sweep.spec().points[p];
     for (const auto& name : scheme_names) {
       const auto* cell = hexp::Aggregator::find(cells, p, name);
       if (cell == nullptr || cell->total == 0) continue;
-      const auto mean_of = [&](const char* metric) -> std::string {
+      const auto mean_of = [&](const std::string& metric) -> std::string {
         const auto it = cell->metrics.find(metric);
         if (it == cell->metrics.end() || it->second.count == 0) return "-";
         return io::fmt(it->second.mean, 1);
       };
-      table.add_row({io::fmt(point.total_utilization, 3), name,
-                     io::fmt(cell->acceptance_ratio, 3),
-                     mean_of("min_mode_mean_detection_ms"),
-                     metric_ci(*cell, "adaptive_mean_detection_ms", 1),
-                     mean_of("adaptive_p95_detection_ms"),
-                     mean_of("static_mean_detection_ms"),
-                     mean_of("global_mean_detection_ms"),
-                     metric_ci(*cell, "adapted_residency", 3),
-                     mean_of("adaptive_switches")});
+      for (const auto& policy : policy_names) {
+        const std::string suffix = family_suffix(policy);
+        table.add_row({io::fmt(point.total_utilization, 3), name, policy,
+                       io::fmt(cell->acceptance_ratio, 3),
+                       mean_of("min_mode_mean_detection_ms"),
+                       metric_ci(*cell, "adaptive_mean_detection_ms" + suffix, 1),
+                       mean_of("adaptive_p95_detection_ms" + suffix),
+                       mean_of("static_mean_detection_ms"),
+                       mean_of("global_mean_detection_ms"),
+                       metric_ci(*cell, "adapted_residency" + suffix, 3),
+                       mean_of("adaptive_switches" + suffix),
+                       mean_of("adaptive_denied_dwell" + suffix) + " / " +
+                           mean_of("adaptive_denied_budget" + suffix)});
+      }
     }
   }
 

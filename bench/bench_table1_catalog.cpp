@@ -11,13 +11,17 @@
 //                             [--catalog-md] [--catalog-out docs/scheme-catalog.md]
 //                             [--solver-catalog-md]
 //                             [--solver-catalog-out docs/solver-catalog.md]
+//                             [--controller-catalog-md]
+//                             [--controller-catalog-out docs/controller-catalog.md]
 //
 // --catalog-md prints the full allocator registry (name + description) as the
 // markdown scheme catalog and exits; --catalog-out writes it to a file — the
 // committed docs/scheme-catalog.md is generated this way and kept in sync by
 // the test_scheme_catalog ctest suite.  --solver-catalog-md/--solver-catalog-out
 // do the same for the GP solver registry (docs/solver-catalog.md,
-// test_solver_catalog).
+// test_solver_catalog), and --controller-catalog-md/--controller-catalog-out
+// for the runtime controller-policy registry (docs/controller-catalog.md,
+// test_controller_catalog).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -30,6 +34,7 @@
 #include "gen/uav.h"
 #include "io/table.h"
 #include "sec/catalog.h"
+#include "sim/controller.h"
 #include "util/cli.h"
 
 namespace hexp = hydra::exp;
@@ -74,6 +79,25 @@ int main(int argc, char** argv) {
   }
   if (cli.get_bool("solver-catalog-md", false)) {
     std::cout << solver_catalog;
+    return 0;
+  }
+  const std::string controller_catalog = hydra::sim::controller_catalog_markdown(
+      hydra::sim::ControllerRegistry::global());
+  if (cli.has("controller-catalog-out")) {
+    const std::string path = cli.get_string("controller-catalog-out", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return 2;
+    }
+    out << controller_catalog;
+    std::cout << "wrote controller catalog ("
+              << hydra::sim::ControllerRegistry::global().names().size()
+              << " policies) to " << path << "\n";
+    return 0;
+  }
+  if (cli.get_bool("controller-catalog-md", false)) {
+    std::cout << controller_catalog;
     return 0;
   }
   const auto cores = cli.get_int_list("cores", {2, 4, 8});

@@ -1,6 +1,7 @@
 #include "core/mode_table.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.h"
 #include "util/units.h"
@@ -20,10 +21,13 @@ std::size_t ModeTable::switchable_tasks() const {
   return n;
 }
 
-ModeTable build_mode_table(const Instance& instance, const Allocation& allocation) {
+ModeTable build_mode_table(const Instance& instance, const Allocation& allocation,
+                           std::size_t num_levels) {
   HYDRA_REQUIRE(allocation.feasible, "mode table requires a feasible allocation");
   HYDRA_REQUIRE(allocation.placements.size() == instance.security_tasks.size(),
                 "allocation does not cover the security task set");
+  HYDRA_REQUIRE(num_levels >= 2, "a mode table needs at least 2 levels");
+  HYDRA_REQUIRE(num_levels <= 64, "num_levels > 64 is almost surely a typo");
 
   ModeTable table;
   table.modes.reserve(instance.security_tasks.size());
@@ -40,6 +44,23 @@ ModeTable build_mode_table(const Instance& instance, const Allocation& allocatio
     mode.min_period = task.period_max;
     // Clamp away the validator tolerance so the invariant holds exactly.
     mode.adapted_period = std::min(place.period, task.period_max);
+    if (mode.adapted_period < mode.min_period - util::kTimeEpsilon) {
+      // Geometric ladder: equal period ratios between adjacent rungs, with
+      // the endpoints pinned EXACTLY to the committed modes (no pow() noise
+      // on the anchors the analysis certified).
+      const double ratio = mode.adapted_period / mode.min_period;
+      mode.levels.reserve(num_levels);
+      mode.levels.push_back(mode.min_period);
+      for (std::size_t k = 1; k + 1 < num_levels; ++k) {
+        const double frac =
+            static_cast<double>(k) / static_cast<double>(num_levels - 1);
+        mode.levels.push_back(mode.min_period * std::pow(ratio, frac));
+      }
+      mode.levels.push_back(mode.adapted_period);
+    } else {
+      // No headroom: the ladder collapses to the single always-on mode.
+      mode.levels.push_back(mode.min_period);
+    }
     table.modes.push_back(mode);
   }
   return table;

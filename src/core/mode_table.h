@@ -1,7 +1,9 @@
-// Runtime monitoring-mode tables (the Contego two-mode model, arXiv:1705.00138).
+// Runtime monitoring-mode tables (the Contego model, arXiv:1705.00138),
+// generalized from the original {minimum, adapted} pair to an N-level ladder.
 //
-// An adaptive allocator commits, at design time, TWO analysis-feasible period
-// vectors for the security tasks on their assigned cores:
+// An adaptive allocator commits, at design time, analysis-feasible period
+// vectors for the security tasks on their assigned cores.  The two anchor
+// modes are:
 //
 //   * the *minimum mode* — every monitor at its loosest acceptable period
 //     Tmax (always-on baseline coverage, the fallback when the system is
@@ -9,12 +11,21 @@
 //   * the *adapted mode* — the tightened periods the allocator's slack-aware
 //     pass produced (Ts ∈ [Tdes, Tmax], best-effort toward Tdes).
 //
-// The runtime mode-switching simulator (sim/mode_switch.h) flips each monitor
-// between the two vectors at job boundaries, driven by observed slack.  A
-// ModeTable is the design-time artifact handed across that seam: it is a pure
-// function of (instance, allocation), so ANY registered scheme — not just
-// `contego` — yields a mode table (schemes that do not adapt simply commit
-// adapted == placement period, possibly == Tmax).
+// With `num_levels > 2` the table additionally commits intermediate levels,
+// geometrically interpolated between Tmax and the committed period, so a
+// runtime controller can step rates one rung at a time instead of jumping
+// between the extremes.  Every level lies in [adapted, Tmax]: loosening a
+// feasible allocation's periods keeps it feasible, so the whole ladder is
+// analysis-feasible by construction — a controller may mix levels per task
+// freely without re-running the analysis.
+//
+// The runtime mode-switching simulator (sim/mode_switch.h) walks each monitor
+// up and down its ladder at job boundaries, driven by a registered controller
+// policy (sim/controller.h).  A ModeTable is the design-time artifact handed
+// across that seam: it is a pure function of (instance, allocation,
+// num_levels), so ANY registered scheme — not just `contego` — yields a mode
+// table (schemes that do not adapt simply commit adapted == placement period,
+// possibly == Tmax).
 #pragma once
 
 #include <cstddef>
@@ -24,12 +35,18 @@
 
 namespace hydra::core {
 
-/// The two committed periods of one security task on its assigned core.
+/// The committed period ladder of one security task on its assigned core.
+/// `levels` is ordered slowest-to-fastest: levels.front() == min_period
+/// (Tmax), levels.back() == adapted_period, strictly decreasing in between.
+/// A task without headroom has the single level {Tmax}.
 /// Invariant: Tdes <= adapted_period <= min_period == Tmax (validated).
 struct SecurityMode {
   std::size_t core = 0;               ///< the placement core (fixed at runtime)
   util::Millis min_period = 0.0;      ///< minimum mode: the task's Tmax
-  util::Millis adapted_period = 0.0;  ///< adapted mode: the allocation's period
+  util::Millis adapted_period = 0.0;  ///< fastest mode: the allocation's period
+  std::vector<util::Millis> levels;   ///< the full ladder, slowest first
+
+  std::size_t num_levels() const { return levels.size(); }
 };
 
 /// Per-security-task mode table, parallel to Instance::security_tasks.
@@ -45,10 +62,17 @@ struct ModeTable {
 };
 
 /// Builds the mode table of a feasible allocation: minimum mode is each
-/// task's Tmax, adapted mode is the period the allocator committed.  Throws
-/// std::invalid_argument on infeasible allocations or placements outside the
-/// [Tdes, Tmax] box — an out-of-box period is an allocator bug, not a mode.
-ModeTable build_mode_table(const Instance& instance, const Allocation& allocation);
+/// task's Tmax, the fastest mode is the period the allocator committed, and
+/// `num_levels >= 2` total levels are generated per monitor-with-headroom by
+/// geometric interpolation between the two (level k of L:
+/// Tmax · (adapted/Tmax)^(k/(L−1)) — equal period *ratios* between rungs, so
+/// each step buys the same relative monitoring-frequency change).  Monitors
+/// without headroom collapse to the single level {Tmax}.  Throws
+/// std::invalid_argument on infeasible allocations, placements outside the
+/// [Tdes, Tmax] box — an out-of-box period is an allocator bug, not a mode —
+/// or num_levels < 2.
+ModeTable build_mode_table(const Instance& instance, const Allocation& allocation,
+                           std::size_t num_levels = 2);
 
 /// The minimum-mode projection of a feasible allocation: identical cores,
 /// every monitor at its Tmax (tightness = Tdes/Tmax).  Loosening a feasible

@@ -19,11 +19,19 @@ namespace {
 /// tell two configurations apart (and a shard merge would silently mix
 /// them).
 std::string controller_identity(const sim::ModeControllerConfig& config) {
-  return "ctl(w=" + std::to_string(config.slack_window) +
+  // An empty policy resolves against the DEFAULT here, not the ambient
+  // ControllerScope: a metric identity must be a pure function of the config
+  // (the sweep fingerprints its ambient policy separately via
+  // SweepSpec::controller_policy).
+  const std::string policy =
+      config.policy.empty() ? sim::kDefaultControllerPolicy : config.policy;
+  return "ctl(p=" + policy + ",w=" + std::to_string(config.slack_window) +
          ",up=" + format_double(config.tighten_threshold) +
          ",down=" + format_double(config.relax_threshold) +
          ",dwell=" + std::to_string(config.min_dwell) +
-         ",budget=" + std::to_string(config.switch_budget) + ")";
+         ",budget=" + std::to_string(config.switch_budget) +
+         ",levels=" + std::to_string(config.num_levels) +
+         ",boost=" + std::to_string(config.boost_window) + ")";
 }
 
 enum class PeriodMode { kBest, kMin, kAdapted };
@@ -62,6 +70,8 @@ struct AdaptiveRowResults {
   double adaptive_p95 = 0.0;
   double switches = 0.0;
   double adapted_residency = 0.0;
+  double denied_dwell = 0.0;
+  double denied_budget = 0.0;
   double static_mean = 0.0;
   double min_mode_mean = 0.0;
   double global_mean = 0.0;
@@ -92,9 +102,14 @@ std::string adaptive_row_key(const core::Instance& instance, const core::DesignP
   key << '\n'
       << config.detection.horizon << ' ' << config.detection.trials << ' '
       << config.detection.seed << ' ' << static_cast<int>(config.detection.scope) << ' '
+      // The policy the simulation will ACTUALLY run — resolved through the
+      // ambient ControllerScope at call time, so the thread-local memo can
+      // never serve a result simulated under a different ambient policy.
+      << sim::resolve_controller_policy(config.controller.policy) << ' '
       << config.controller.slack_window << ' ' << config.controller.tighten_threshold
       << ' ' << config.controller.relax_threshold << ' ' << config.controller.min_dwell
-      << ' ' << config.controller.switch_budget << ' ' << config.include_static << ' '
+      << ' ' << config.controller.switch_budget << ' ' << config.controller.num_levels
+      << ' ' << config.controller.boost_window << ' ' << config.include_static << ' '
       << config.include_min_mode << ' ' << config.include_global << '\n'
       << io::to_text(instance);
   return key.str();
@@ -110,6 +125,8 @@ AdaptiveRowResults compute_adaptive_row(const core::Instance& instance,
   out.adaptive_p95 = stats::percentile(adaptive.detection.detection_ms, 0.95);
   out.switches = static_cast<double>(adaptive.modes.total_switches());
   out.adapted_residency = adaptive.modes.mean_adapted_fraction(adaptive.switchable_tasks);
+  out.denied_dwell = static_cast<double>(adaptive.modes.total_denied_dwell());
+  out.denied_budget = static_cast<double>(adaptive.modes.total_denied_budget());
   if (config.include_static) {
     out.static_mean = mean_of(
         sim::measure_detection_times(instance, point.allocation, config.detection),
@@ -150,10 +167,17 @@ const AdaptiveRowResults& cached_adaptive_row(const core::Instance& instance,
 }  // namespace
 
 std::vector<RowMetric> adaptive_detection_metrics(const AdaptiveMetricsConfig& config) {
+  // Fail at construction, not first evaluation: a bench wiring up an
+  // impossible controller should die before the sweep starts.
+  config.controller.validate();
   std::vector<RowMetric> metrics;
   const std::string identity =
       detection_metric_identity(config.detection) + controller_identity(config.controller);
-  const auto add = [&](std::string name, double AdaptiveRowResults::*field) {
+  const auto add = [&](std::string name, double AdaptiveRowResults::*field,
+                       bool suffixed = true) {
+    // The suffix marks the policy family; the baselines are policy-free and
+    // keep their canonical names (a bench includes them on one family only).
+    if (suffixed) name += config.name_suffix;
     metrics.push_back(RowMetric{
         std::move(name),
         [config, field](const core::Instance& instance, const core::DesignPoint& point) {
@@ -165,14 +189,16 @@ std::vector<RowMetric> adaptive_detection_metrics(const AdaptiveMetricsConfig& c
   add("adaptive_p95_detection_ms", &AdaptiveRowResults::adaptive_p95);
   add("adaptive_switches", &AdaptiveRowResults::switches);
   add("adapted_residency", &AdaptiveRowResults::adapted_residency);
+  add("adaptive_denied_dwell", &AdaptiveRowResults::denied_dwell);
+  add("adaptive_denied_budget", &AdaptiveRowResults::denied_budget);
   if (config.include_static) {
-    add("static_mean_detection_ms", &AdaptiveRowResults::static_mean);
+    add("static_mean_detection_ms", &AdaptiveRowResults::static_mean, false);
   }
   if (config.include_min_mode) {
-    add("min_mode_mean_detection_ms", &AdaptiveRowResults::min_mode_mean);
+    add("min_mode_mean_detection_ms", &AdaptiveRowResults::min_mode_mean, false);
   }
   if (config.include_global) {
-    add("global_mean_detection_ms", &AdaptiveRowResults::global_mean);
+    add("global_mean_detection_ms", &AdaptiveRowResults::global_mean, false);
   }
   return metrics;
 }

@@ -33,6 +33,11 @@ std::vector<RowMetric> period_mode_metrics(double rel_tol = 1e-9);
 struct AdaptiveMetricsConfig {
   sim::DetectionConfig detection;
   sim::ModeControllerConfig controller;
+  /// Appended to the adaptive_* metric names (NOT the baselines), e.g.
+  /// "/boost" — how a bench runs several controller-policy families side by
+  /// side in one sweep without name collisions.  The suffixed names feed the
+  /// sweep fingerprint like any other metric name.
+  std::string name_suffix;
   /// Also emit the frozen-allocation baseline ("static_mean_detection_ms") —
   /// the design-time bound runtime adaptation approaches from above.
   bool include_static = true;
@@ -54,9 +59,17 @@ struct AdaptiveMetricsConfig {
 ///   * "adaptive_switches" — committed mode switches across all monitors,
 ///   * "adapted_residency" — mean adapted-mode residency fraction over the
 ///     switchable monitors (0 when the allocation has no headroom),
+///   * "adaptive_denied_dwell" / "adaptive_denied_budget" — controller
+///     decisions the dwell rate limit / the exhausted switch budget denied
+///     (distinguishes a stable controller from a starved one),
 ///
 /// plus the baselines selected in the config (static = the frozen committed
 /// periods, min-mode = everything at Tmax, global = global-slack migration).
+/// The controller's policy / num_levels / boost_window are part of every
+/// adaptive metric's identity (resolved against the DEFAULT policy when the
+/// config leaves it empty — the sweep fingerprints its ambient policy
+/// separately via SweepSpec::controller_policy).  Throws on an invalid
+/// controller config at construction, not first evaluation.
 /// All hooks derive from one simulation bundle per row, memoized per worker
 /// thread — the cache only short-circuits recomputation of a pure function,
 /// so the sweep's byte-identity across --jobs is preserved.

@@ -17,6 +17,7 @@
 #include "core/scp_warm.h"
 #include "exp/scp_warm.h"
 #include "gp/solver_registry.h"
+#include "sim/controller.h"
 
 namespace hydra::exp {
 
@@ -135,6 +136,11 @@ std::string sweep_fingerprint(const SweepSpec& spec) {
   // fingerprint must stay a pure function of the spec.
   put("gp-backend=" +
       (spec.gp_backend.empty() ? std::string(gp::kDefaultGpBackend) : spec.gp_backend));
+  // Same resolution rule for the runtime controller policy the adaptive
+  // metrics simulate under.
+  put("controller-policy=" + (spec.controller_policy.empty()
+                                  ? std::string(sim::kDefaultControllerPolicy)
+                                  : spec.controller_policy));
   // Name AND identity: two metric families sharing names but baked with
   // different parameters (trials, horizons, thresholds) yield different row
   // bytes, and only the identity string reveals that.
@@ -382,6 +388,9 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
       !gp::SolverRegistry::global().contains(spec_.gp_backend)) {
     gp::SolverRegistry::global().make(spec_.gp_backend);  // throws, listing names
   }
+  if (!spec_.controller_policy.empty()) {
+    sim::ControllerRegistry::global().require(spec_.controller_policy);
+  }
   if (spec_.points.empty()) {
     throw std::invalid_argument("sweep needs at least one point");
   }
@@ -603,6 +612,9 @@ SweepSummary Sweep::run(const std::vector<ResultSink*>& sinks) const {
     // registry default).  Installed unconditionally so a stray outer scope
     // on a worker thread can never leak into row bytes.
     const gp::GpBackendScope backend_scope(spec_.gp_backend);
+    // Likewise for the runtime controller policy the unit's adaptive metrics
+    // resolve ("" pins the registry default).
+    const sim::ControllerScope controller_scope(spec_.controller_policy);
     // Install the warm-start scope for the whole unit.  The neighbor's
     // canonical solve is paid lazily on the FIRST signomial solve of the
     // unit (memoized process-wide after that), so cells whose schemes never

@@ -89,6 +89,14 @@ struct SweepSpec {
   /// different KKT points — so the RESOLVED name is stamped into
   /// sweep_fingerprint and differently-solved checkpoints refuse to merge.
   std::string gp_backend;
+  /// Runtime controller policy (sim::ControllerRegistry name) the adaptive
+  /// metrics of every cell resolve when their config names none, installed as
+  /// a sim::ControllerScope around each unit.  "" means the registry default
+  /// (hysteresis).  Like gp_backend this IS a row-byte input — two runs
+  /// simulating under different policies produce different adaptive columns —
+  /// so the RESOLVED name is stamped into sweep_fingerprint and
+  /// differently-controlled checkpoints refuse to merge.
+  std::string controller_policy;
 
   /// Appends a synthetic grid point per utilization value — the Fig. 2/3
   /// "sweep total utilization on platform `config`" idiom in one call.

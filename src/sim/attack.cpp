@@ -59,13 +59,18 @@ std::vector<SimTask> build_sim_tasks(
   return tasks;
 }
 
-DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& tasks,
-                               std::size_t nr, std::size_t ns, const DetectionConfig& config) {
+std::vector<util::SimTime> AttackPlan::sorted_times() const {
+  std::vector<util::SimTime> times;
+  times.reserve(trials.size());
+  for (const auto& trial : trials) times.push_back(trial.at);
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+AttackPlan plan_attacks(const std::vector<SimTask>& tasks, std::size_t nr,
+                        std::size_t ns, const DetectionConfig& config) {
   HYDRA_REQUIRE(config.trials > 0, "need at least one trial");
   HYDRA_REQUIRE(ns > 0, "detection experiment needs at least one security task");
-
-  DetectionResult result;
-  result.deadline_misses = trace.deadline_misses();
 
   util::Xoshiro256 rng(config.seed);
   // Leave the tail of the horizon for detection to complete; the slowest
@@ -78,21 +83,39 @@ DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& t
   }
   HYDRA_REQUIRE(latest_attack > 0, "horizon too short for the security periods");
 
+  AttackPlan plan;
+  plan.trials.reserve(config.trials);
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    const util::SimTime attack_at =
-        rng.uniform_int(0, latest_attack - 1);
+    // Per-trial draw order (instant, then victim) is the historical
+    // sample_attacks order — a fixed seed plans the attacks it always did.
+    AttackTrial t;
+    t.at = rng.uniform_int(0, latest_attack - 1);
+    if (config.scope == AttackScope::kSingleTask) {
+      t.victim = static_cast<std::size_t>(rng.uniform_int(0, ns - 1));
+    }
+    plan.trials.push_back(t);
+  }
+  return plan;
+}
 
+DetectionResult detect_planned_attacks(const Trace& trace, std::size_t nr,
+                                       std::size_t ns, const DetectionConfig& config,
+                                       const AttackPlan& plan) {
+  HYDRA_REQUIRE(ns > 0, "detection experiment needs at least one security task");
+  DetectionResult result;
+  result.deadline_misses = trace.deadline_misses();
+
+  for (const AttackTrial& trial : plan.trials) {
     std::optional<util::SimTime> detected_at;
     bool undetected = false;
     if (config.scope == AttackScope::kSingleTask) {
-      const std::size_t victim = static_cast<std::size_t>(rng.uniform_int(0, ns - 1));
-      detected_at = trace.first_completion_released_after(nr + victim, attack_at);
+      detected_at = trace.first_completion_released_after(nr + trial.victim, trial.at);
       undetected = !detected_at.has_value();
     } else {
       // Worst case over all monitors: the last fresh scan to complete.
       util::SimTime worst = 0;
       for (std::size_t s = 0; s < ns && !undetected; ++s) {
-        const auto done = trace.first_completion_released_after(nr + s, attack_at);
+        const auto done = trace.first_completion_released_after(nr + s, trial.at);
         if (!done.has_value()) {
           undetected = true;
         } else {
@@ -105,10 +128,16 @@ DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& t
     if (undetected || !detected_at.has_value()) {
       ++result.undetected;
     } else {
-      result.detection_ms.push_back(util::to_millis(*detected_at - attack_at));
+      result.detection_ms.push_back(util::to_millis(*detected_at - trial.at));
     }
   }
   return result;
+}
+
+DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& tasks,
+                               std::size_t nr, std::size_t ns, const DetectionConfig& config) {
+  return detect_planned_attacks(trace, nr, ns, config,
+                                plan_attacks(tasks, nr, ns, config));
 }
 
 DetectionResult measure_detection_times(const core::Instance& instance,
@@ -142,14 +171,10 @@ DetectionResult measure_detection_times_global(const core::Instance& instance,
 AdaptiveDetectionResult measure_detection_times_adaptive(
     const core::Instance& instance, const core::Allocation& allocation,
     const DetectionConfig& config, const ModeControllerConfig& controller) {
-  const core::ModeTable table = core::build_mode_table(instance, allocation);
+  controller.validate();
+  const core::ModeTable table =
+      core::build_mode_table(instance, allocation, controller.num_levels);
   const std::vector<ModeTask> mode_tasks = build_mode_tasks(instance, allocation, table);
-
-  ModeSwitchOptions sim_options;
-  sim_options.horizon = config.horizon;
-  sim_options.seed = config.seed;
-  sim_options.controller = controller;
-  ModeSwitchResult run = simulate_mode_switching(mode_tasks, sim_options);
 
   // Size the attack window from the minimum-mode periods — the loosest rate
   // the monitors can ever fall back to, so detection has room to complete no
@@ -158,9 +183,23 @@ AdaptiveDetectionResult measure_detection_times_adaptive(
   window_tasks.reserve(mode_tasks.size());
   for (const auto& mt : mode_tasks) window_tasks.push_back(mt.task);
 
+  // Plan the attacks BEFORE simulating and inject them as detection events,
+  // so an attack-reactive policy (boost) sees exactly the attacks the
+  // measurement will score.  Policies that ignore detections produce the
+  // trace the un-injected engine would — injection touches no RNG stream.
+  const AttackPlan plan = plan_attacks(window_tasks, instance.rt_tasks.size(),
+                                       instance.security_tasks.size(), config);
+
+  ModeSwitchOptions sim_options;
+  sim_options.horizon = config.horizon;
+  sim_options.seed = config.seed;
+  sim_options.controller = controller;
+  sim_options.attack_times = plan.sorted_times();
+  ModeSwitchResult run = simulate_mode_switching(mode_tasks, sim_options);
+
   AdaptiveDetectionResult result;
-  result.detection = sample_attacks(run.trace, window_tasks, instance.rt_tasks.size(),
-                                    instance.security_tasks.size(), config);
+  result.detection = detect_planned_attacks(run.trace, instance.rt_tasks.size(),
+                                            instance.security_tasks.size(), config, plan);
   result.modes = std::move(run.stats);
   const std::size_t nr = instance.rt_tasks.size();
   for (std::size_t s = 0; s < instance.security_tasks.size(); ++s) {

@@ -66,24 +66,66 @@ DetectionResult measure_detection_times_global(const core::Instance& instance,
                                                const core::Allocation& allocation,
                                                const DetectionConfig& config);
 
-/// The attack-sampling pass the three measure_* entry points share: samples
-/// `config.trials` attack instants over a completed trace and reads off when
-/// the monitors re-scanned.  `tasks` is the simulator task list the trace was
-/// produced from (RT first, then security) — only used to size the attack
-/// window from the security periods, so for adaptive traces pass the
-/// MINIMUM-mode list (the conservative window).  Exposed so custom runtime
-/// policies can reuse the measurement protocol on their own traces.
+/// One planned synthetic attack: the instant, plus the victim monitor index
+/// (security-task index, meaningful only under AttackScope::kSingleTask).
+struct AttackTrial {
+  util::SimTime at = 0;
+  std::size_t victim = 0;
+};
+
+/// The pre-drawn attack schedule of a detection experiment.  Splitting the
+/// drawing (plan_attacks) from the reading-off (detect_planned_attacks) lets
+/// the SAME attacks be injected into the mode-switching engine as detection
+/// events (ModeSwitchOptions::attack_times) AND measured afterwards — the
+/// seam the attack-triggered `boost` controller policy needs.  The draw order
+/// is identical to the historical sample_attacks (per trial: instant, then
+/// victim), so a fixed seed plans the same attacks it always sampled.
+struct AttackPlan {
+  std::vector<AttackTrial> trials;
+
+  /// The attack instants, ascending (duplicates kept) — the shape
+  /// ModeSwitchOptions::attack_times wants.
+  std::vector<util::SimTime> sorted_times() const;
+};
+
+/// Draws `config.trials` attacks uniformly over the horizon minus a detection
+/// tail (3× each monitor's period, taken from `tasks` — for adaptive traces
+/// pass the MINIMUM-mode list, the conservative window).  Pure function of
+/// (tasks' periods, config).
+AttackPlan plan_attacks(const std::vector<SimTask>& tasks, std::size_t num_rt,
+                        std::size_t num_security, const DetectionConfig& config);
+
+/// Reads a planned attack schedule off a completed trace: an attack is
+/// detected when the first monitoring job released after it completes
+/// (worst-case over all monitors under kAllTasks, the planned victim alone
+/// under kSingleTask).
+DetectionResult detect_planned_attacks(const Trace& trace, std::size_t num_rt,
+                                       std::size_t num_security,
+                                       const DetectionConfig& config,
+                                       const AttackPlan& plan);
+
+/// The attack-sampling pass the measure_* entry points share:
+/// plan_attacks + detect_planned_attacks in one call, for traces that need no
+/// injection.  `tasks` is the simulator task list the trace was produced from
+/// (RT first, then security) — only used to size the attack window from the
+/// security periods.  Exposed so custom runtime policies can reuse the
+/// measurement protocol on their own traces.
 DetectionResult sample_attacks(const Trace& trace, const std::vector<SimTask>& tasks,
                                std::size_t num_rt, std::size_t num_security,
                                const DetectionConfig& config);
 
 /// Detection latency measured UNDER runtime adaptation rather than for a
 /// frozen period vector: builds the mode table of the allocation
-/// (minimum mode = Tmax, adapted mode = the committed periods), runs the
-/// mode-switching engine with `controller`, and samples attacks on the
-/// resulting trace.  The attack window is sized from the minimum-mode
-/// periods, so every trial also has a defined latency in the static
-/// minimum-mode baseline — the comparison the dominance property test makes.
+/// (minimum mode = Tmax, fastest mode = the committed periods,
+/// `controller.num_levels` ladder rungs), plans the attacks FIRST, runs the
+/// mode-switching engine with `controller` and the planned attack instants
+/// injected as detection events, and reads the plan off the resulting trace.
+/// Policies that ignore detections (everything but `boost`) produce the same
+/// trace the un-injected engine would, so their results are unchanged; the
+/// `boost` policy reacts to each attack and shortens the latency of the NEXT
+/// one.  The attack window is sized from the minimum-mode periods, so every
+/// trial also has a defined latency in the static minimum-mode baseline — the
+/// comparison the dominance property test makes.
 struct AdaptiveDetectionResult {
   DetectionResult detection;
   ModeStats modes;  ///< indices are sim-task indices (security task s at NR+s)

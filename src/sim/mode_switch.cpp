@@ -8,6 +8,7 @@
 #include <string>
 
 #include "sim/attack.h"
+#include "sim/busy_window.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 
@@ -25,68 +26,24 @@ struct LiveJob {
   std::size_t job_index = 0;
   util::SimTime remaining = 0;
   util::SimTime deadline = 0;  ///< relative, mode-dependent
+  util::SimTime release = 0;   ///< for detection delivery at completion
   bool started = false;
-};
-
-/// Core-local busy history for the sliding slack window: merged, chronological
-/// [from, to) execution intervals with an advancing prune index so a long
-/// horizon costs O(window) live entries.  `keep` must cover the window PLUS
-/// the furthest a decision instant can lag the clock (a non-preemptive job
-/// admits the releases it ran over only at its completion), so pruned
-/// segments can never intersect a future query.
-class BusyWindow {
- public:
-  explicit BusyWindow(util::SimTime keep) : keep_(keep) {}
-
-  void add(util::SimTime from, util::SimTime to) {
-    if (to <= from) return;
-    if (!segments_.empty() && segments_.back().second == from) {
-      segments_.back().second = to;
-    } else {
-      segments_.emplace_back(from, to);
-    }
-    // Drop segments that can no longer intersect any future query window:
-    // queries end at decision instants in (to - keep_, to] and reach back at
-    // most keep_ ticks (the caller folded the admission lag into keep_).
-    const util::SimTime cutoff = to > 2 * keep_ ? to - 2 * keep_ : 0;
-    while (head_ < segments_.size() && segments_[head_].second <= cutoff) ++head_;
-    if (head_ > 1024 && head_ * 2 > segments_.size()) {
-      segments_.erase(segments_.begin(),
-                      segments_.begin() + static_cast<std::ptrdiff_t>(head_));
-      head_ = 0;
-    }
-  }
-
-  /// Busy ticks inside [from, to).
-  util::SimTime busy_in(util::SimTime from, util::SimTime to) const {
-    util::SimTime busy = 0;
-    for (std::size_t i = segments_.size(); i > head_; --i) {
-      const auto& seg = segments_[i - 1];
-      if (seg.second <= from) break;  // chronological: everything earlier too
-      const util::SimTime lo = std::max(seg.first, from);
-      const util::SimTime hi = std::min(seg.second, to);
-      if (hi > lo) busy += hi - lo;
-    }
-    return busy;
-  }
-
- private:
-  util::SimTime keep_;
-  std::size_t head_ = 0;
-  std::vector<std::pair<util::SimTime, util::SimTime>> segments_;
 };
 
 /// Per-task controller state on one core.
 struct TaskMode {
   bool switchable = false;
-  bool in_adapted = false;  ///< every task starts in minimum mode
+  std::size_t level = 0;  ///< every task starts in minimum mode (level 0)
+  std::size_t top = 0;    ///< fastest ladder index (num_levels - 1)
   util::SimTime dwell = 0;  ///< effective min_dwell for this task
   std::optional<util::SimTime> last_switch;
+  std::size_t next_attack = 0;  ///< cursor into options.attack_times
 };
 
 void simulate_core(const std::vector<ModeTask>& tasks,
                    const std::vector<std::size_t>& members,
-                   const ModeSwitchOptions& options, util::SimTime window,
+                   const ModeSwitchOptions& options,
+                   const std::string& policy_name, util::SimTime window,
                    Trace& trace, ModeStats& stats, std::size_t core,
                    util::Xoshiro256 rng) {
   {
@@ -97,6 +54,8 @@ void simulate_core(const std::vector<ModeTask>& tasks,
     }
   }
   const ModeControllerConfig& ctl = options.controller;
+  const std::unique_ptr<ControllerPolicy> policy = ControllerRegistry::global().make(
+      policy_name, ctl, PolicyInit{tasks.size(), window});
 
   std::vector<util::SimTime> next_release(tasks.size(), kNever);
   std::vector<TaskMode> mode(tasks.size());
@@ -106,6 +65,7 @@ void simulate_core(const std::vector<ModeTask>& tasks,
       next_release[ti] = mt.task.release_offset;
     }
     mode[ti].switchable = mt.switchable();
+    mode[ti].top = mt.num_levels() - 1;
     mode[ti].dwell = ctl.min_dwell > 0 ? ctl.min_dwell : mt.task.period;
   }
 
@@ -138,8 +98,10 @@ void simulate_core(const std::vector<ModeTask>& tasks,
     return std::max<util::SimTime>(1, static_cast<util::SimTime>(ticks));
   };
 
-  // The controller decision at task ti's release boundary `at`: a pure
-  // function of the core-local busy history and ti's own mode state.
+  // The controller decision at task ti's release boundary `at`: the policy's
+  // desired level — a pure function of the core-local busy history, ti's own
+  // mode state, and delivered detection events — filtered through the dwell /
+  // budget machinery.  Denials are counted, never silent.
   const auto decide_mode = [&](std::size_t ti, util::SimTime at) {
     TaskMode& m = mode[ti];
     if (!m.switchable) return;
@@ -148,19 +110,42 @@ void simulate_core(const std::vector<ModeTask>& tasks,
     const util::SimTime busy_ticks = history.busy_in(at - span, at);
     const double idle_fraction =
         static_cast<double>(span - busy_ticks) / static_cast<double>(span);
-    bool want_adapted = m.in_adapted;
-    if (m.in_adapted) {
-      if (idle_fraction <= ctl.relax_threshold) want_adapted = false;
-    } else {
-      if (idle_fraction >= ctl.tighten_threshold) want_adapted = true;
+    const std::size_t want =
+        policy->decide(ti, LevelObservation{at, idle_fraction, m.level, m.top});
+    HYDRA_REQUIRE(want <= m.top,
+                  "policy '" + policy->name() + "' asked for level " +
+                      std::to_string(want) + " above the analysis-feasible "
+                      "fastest level " + std::to_string(m.top) + " of task '" +
+                      tasks[ti].task.name + "'");
+    if (want == m.level) return;
+    if (stats.switches[ti] >= ctl.switch_budget) {
+      ++stats.denied_budget[ti];
+      return;
     }
-    if (want_adapted == m.in_adapted) return;
-    if (stats.switches[ti] >= ctl.switch_budget) return;
-    if (m.last_switch.has_value() && at - *m.last_switch < m.dwell) return;
-    m.in_adapted = want_adapted;
+    if (m.last_switch.has_value() && at - *m.last_switch < m.dwell) {
+      ++stats.denied_dwell[ti];
+      return;
+    }
+    stats.events.push_back(ModeSwitchEvent{ti, at, want > m.level, m.level, want});
+    m.level = want;
     m.last_switch = at;
     ++stats.switches[ti];
-    stats.events.push_back(ModeSwitchEvent{ti, at, want_adapted});
+  };
+
+  // Detection delivery at job completion: the completed job is the first
+  // fresh scan for every not-yet-delivered attack that precedes its release
+  // (sim/attack.h semantics).  No RNG is touched, so policies that ignore
+  // detections keep a byte-identical trace.
+  const auto deliver_detections = [&](std::size_t ti, util::SimTime release,
+                                      util::SimTime completion) {
+    TaskMode& m = mode[ti];
+    if (!m.switchable) return;
+    while (m.next_attack < options.attack_times.size() &&
+           options.attack_times[m.next_attack] < release) {
+      policy->on_detection(ti, completion);
+      ++stats.detections[ti];
+      ++m.next_attack;
+    }
   };
 
   // Admits due releases strictly in release-time order (ties by member
@@ -182,12 +167,12 @@ void simulate_core(const std::vector<ModeTask>& tasks,
         const ModeTask& mt = tasks[ti];
         const util::SimTime at = next_release[ti];
         decide_mode(ti, at);
-        const bool adapted = mode[ti].in_adapted;
-        const util::SimTime period = adapted ? mt.adapted_period : mt.task.period;
+        const std::size_t level = mode[ti].level;
+        const util::SimTime period = mt.level_period(level);
         // Implicit-deadline monitors track their current rate; fixed tasks
         // keep their configured deadline.
         const util::SimTime deadline = mode[ti].switchable ? period : mt.task.deadline;
-        if (adapted) {
+        if (level > 0) {
           stats.adapted_residency[ti] += period;
           ++stats.adapted_jobs[ti];
         } else {
@@ -197,8 +182,8 @@ void simulate_core(const std::vector<ModeTask>& tasks,
         JobRecord rec;
         rec.release = at;
         trace.jobs[ti].push_back(rec);
-        ready.push_back(
-            LiveJob{ti, trace.jobs[ti].size() - 1, draw_exec(mt.task), deadline, false});
+        ready.push_back(LiveJob{ti, trace.jobs[ti].size() - 1, draw_exec(mt.task),
+                                deadline, at, false});
         util::SimTime gap = period;
         if (mt.task.release_jitter > 0) {
           gap += rng.uniform_int(1, mt.task.release_jitter);
@@ -262,6 +247,7 @@ void simulate_core(const std::vector<ModeTask>& tasks,
       rec.completed = true;
       rec.completion = now;
       rec.deadline_missed = now > rec.release + job.deadline;
+      deliver_detections(job.task, job.release, now);
       if (locked.has_value() && *locked == *chosen) locked = std::nullopt;
       const std::size_t last = ready.size() - 1;
       if (*chosen != last) {
@@ -276,6 +262,12 @@ void simulate_core(const std::vector<ModeTask>& tasks,
     trace.jobs[job.task][job.job_index].deadline_missed = true;
   }
   trace.core_busy[core] = busy;
+}
+
+std::size_t sum(const std::vector<std::size_t>& v) {
+  std::size_t n = 0;
+  for (const auto x : v) n += x;
+  return n;
 }
 
 }  // namespace
@@ -294,17 +286,22 @@ double ModeStats::mean_adapted_fraction(const std::vector<std::size_t>& only) co
   return sum / static_cast<double>(only.size());
 }
 
-std::size_t ModeStats::total_switches() const {
-  std::size_t n = 0;
-  for (const auto s : switches) n += s;
-  return n;
-}
+std::size_t ModeStats::total_switches() const { return sum(switches); }
+std::size_t ModeStats::total_denied_dwell() const { return sum(denied_dwell); }
+std::size_t ModeStats::total_denied_budget() const { return sum(denied_budget); }
+std::size_t ModeStats::total_detections() const { return sum(detections); }
 
 ModeSwitchResult simulate_mode_switching(const std::vector<ModeTask>& tasks,
                                          const ModeSwitchOptions& options) {
   HYDRA_REQUIRE(options.horizon > 0, "simulation horizon must be positive");
-  HYDRA_REQUIRE(options.controller.relax_threshold < options.controller.tighten_threshold,
-                "hysteresis requires relax_threshold < tighten_threshold");
+  options.controller.validate();
+  const std::string policy_name =
+      resolve_controller_policy(options.controller.policy);
+  ControllerRegistry::global().require(policy_name);
+  for (std::size_t i = 1; i < options.attack_times.size(); ++i) {
+    HYDRA_REQUIRE(options.attack_times[i - 1] <= options.attack_times[i],
+                  "attack_times must be ascending");
+  }
   std::size_t num_cores = 0;
   for (const auto& mt : tasks) {
     const SimTask& t = mt.task;
@@ -316,6 +313,15 @@ ModeSwitchResult simulate_mode_switching(const std::vector<ModeTask>& tasks,
                     "task '" + t.name + "' has adapted period below its WCET");
       HYDRA_REQUIRE(mt.adapted_period <= t.period,
                     "task '" + t.name + "' has adapted period above minimum mode");
+    }
+    if (mt.switchable()) {
+      util::SimTime prev = t.period;
+      for (const util::SimTime level : mt.levels) {
+        HYDRA_REQUIRE(level < prev && level > mt.adapted_period,
+                      "task '" + t.name + "' has a mode level outside the "
+                      "strictly decreasing (adapted, minimum) ladder");
+        prev = level;
+      }
     }
     num_cores = std::max(num_cores, t.core + 1);
   }
@@ -336,6 +342,9 @@ ModeSwitchResult simulate_mode_switching(const std::vector<ModeTask>& tasks,
   result.stats.adapted_residency.assign(tasks.size(), 0);
   result.stats.min_jobs.assign(tasks.size(), 0);
   result.stats.adapted_jobs.assign(tasks.size(), 0);
+  result.stats.denied_dwell.assign(tasks.size(), 0);
+  result.stats.denied_budget.assign(tasks.size(), 0);
+  result.stats.detections.assign(tasks.size(), 0);
 
   util::Xoshiro256 root_rng(options.seed);
   for (std::size_t core = 0; core < num_cores; ++core) {
@@ -356,8 +365,8 @@ ModeSwitchResult simulate_mode_switching(const std::vector<ModeTask>& tasks,
       }
       if (window == 0) window = 1;  // no switchable task: value is irrelevant
     }
-    simulate_core(tasks, members, effective, window, result.trace, result.stats, core,
-                  std::move(core_rng));
+    simulate_core(tasks, members, effective, policy_name, window, result.trace,
+                  result.stats, core, std::move(core_rng));
   }
   return result;
 }
@@ -387,6 +396,19 @@ std::vector<ModeTask> build_mode_tasks(const core::Instance& instance,
             std::max<util::SimTime>(util::to_ticks_ceil(m.adapted_period), mt.task.wcet);
         // Tick rounding can collapse the headroom; a collapsed pair is fixed.
         if (mt.adapted_period >= mt.task.period) mt.adapted_period = 0;
+      }
+      if (mt.adapted_period > 0 && m.levels.size() > 2) {
+        // Intermediate rungs, rounded to ticks; rounding can collapse a rung
+        // into a neighbour — drop it so the ladder stays strictly decreasing.
+        util::SimTime prev = mt.task.period;
+        for (std::size_t k = 1; k + 1 < m.levels.size(); ++k) {
+          const util::SimTime tick = std::max<util::SimTime>(
+              util::to_ticks_ceil(m.levels[k]), mt.task.wcet);
+          if (tick < prev && tick > mt.adapted_period) {
+            mt.levels.push_back(tick);
+            prev = tick;
+          }
+        }
       }
     }
     tasks.push_back(std::move(mt));

@@ -6,6 +6,7 @@
 // feasible seeded batches.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "core/contego.h"
@@ -229,6 +230,53 @@ TEST(ModeController, ValidatesInputs) {
   EXPECT_THROW(sim::simulate_mode_switching({mon}, bad_thresholds),
                std::invalid_argument);
 
+  // Regression: a tighten threshold above 1 used to be accepted silently and
+  // produced a controller that could never switch (the idle fraction is a
+  // ratio).  Same for a negative relax threshold.
+  auto unreachable_tighten = opts;
+  unreachable_tighten.controller.tighten_threshold = 2.0;
+  EXPECT_THROW(sim::simulate_mode_switching({mon}, unreachable_tighten),
+               std::invalid_argument);
+
+  auto negative_relax = opts;
+  negative_relax.controller.relax_threshold = -0.1;
+  EXPECT_THROW(sim::simulate_mode_switching({mon}, negative_relax),
+               std::invalid_argument);
+
+  auto nan_threshold = opts;
+  nan_threshold.controller.tighten_threshold = std::nan("");
+  EXPECT_THROW(sim::simulate_mode_switching({mon}, nan_threshold),
+               std::invalid_argument);
+
+  // A zero switch budget is a controller that can never act — say it with the
+  // never-switch policy instead.
+  auto zero_budget = opts;
+  zero_budget.controller.switch_budget = 0;
+  EXPECT_THROW(sim::simulate_mode_switching({mon}, zero_budget),
+               std::invalid_argument);
+
+  auto one_level = opts;
+  one_level.controller.num_levels = 1;
+  EXPECT_THROW(sim::simulate_mode_switching({mon}, one_level),
+               std::invalid_argument);
+
+  auto unknown_policy = opts;
+  unknown_policy.controller.policy = "no-such-policy";
+  EXPECT_THROW(sim::simulate_mode_switching({mon}, unknown_policy),
+               std::invalid_argument);
+
+  // Intermediate ladder rungs must be strictly decreasing inside
+  // (adapted, minimum).
+  auto bad_ladder = mon;
+  bad_ladder.levels = {1200};  // above the minimum-mode period
+  EXPECT_THROW(sim::simulate_mode_switching({bad_ladder}, opts),
+               std::invalid_argument);
+
+  auto unsorted_attacks = opts;
+  unsorted_attacks.attack_times = {500, 200};
+  EXPECT_THROW(sim::simulate_mode_switching({mon}, unsorted_attacks),
+               std::invalid_argument);
+
   auto above_min = mon;
   above_min.adapted_period = 2000;  // adapted must not loosen past minimum mode
   EXPECT_THROW(sim::simulate_mode_switching({above_min}, opts), std::invalid_argument);
@@ -248,8 +296,11 @@ TEST(ModeController, ValidatesInputs) {
 // ---------------------------------------------------------------------------
 
 TEST(ModeSwitchDeterminism, NeverSwitchingEqualsStaticMinimumMode) {
-  // With an unreachable tighten threshold the controller is inert: the trace
-  // must equal the plain engine's on the minimum-mode task list, job by job.
+  // Under the never-switch policy the controller is inert: the trace must
+  // equal the plain engine's on the minimum-mode task list, job by job.
+  // (Historically this test faked inertness with tighten_threshold = 1.5;
+  // config validation now rejects out-of-[0,1] thresholds, and the registry
+  // says it properly.)
   const auto instance = hydra::gen::uav_case_study(2);
   const auto allocation = core::ContegoAllocator().allocate(instance);
   ASSERT_TRUE(allocation.feasible);
@@ -258,8 +309,7 @@ TEST(ModeSwitchDeterminism, NeverSwitchingEqualsStaticMinimumMode) {
 
   sim::ModeSwitchOptions mopts;
   mopts.horizon = 120000u * kMs;
-  mopts.controller.tighten_threshold = 1.5;  // idle fraction can never reach it
-  mopts.controller.relax_threshold = 0.05;
+  mopts.controller.policy = "never-switch";
   const auto adaptive = sim::simulate_mode_switching(mode_tasks, mopts);
   EXPECT_EQ(adaptive.stats.total_switches(), 0u);
 
